@@ -1,0 +1,77 @@
+// Intervention bench: does DNS-level blocking stop ACR?
+//
+// Related work (Varmarken et al., cited in §5) showed DNS blocklists are
+// often ineffective against smart-TV ad/tracking traffic. This bench
+// applies a Blokada-style blocklist at the resolver and measures ACR
+// traffic with and without it — in our model the ACR clients have no
+// hard-coded IP fallback, so blocking the names kills the channels while
+// platform traffic to unblocked domains continues.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/acr_detect.hpp"
+#include "core/experiment.hpp"
+
+using namespace tvacr;
+
+namespace {
+
+struct Totals {
+    double acr_kb = 0.0;
+    double other_kb = 0.0;
+    std::uint64_t blocked_queries = 0;
+};
+
+Totals run(tv::Brand brand, bool blocked) {
+    core::ExperimentSpec spec;
+    spec.brand = brand;
+    spec.country = tv::Country::kUk;
+    spec.scenario = tv::Scenario::kLinear;
+    spec.duration = SimTime::minutes(20);
+    spec.seed = 60;
+
+    core::Testbed bed(core::ExperimentRunner::testbed_config(spec));
+    if (blocked) {
+        for (const auto& entry : analysis::tracker_blocklist()) {
+            bed.cloud().block_domain(entry);
+        }
+    }
+    const auto result = core::ExperimentRunner::run_on(bed, spec);
+    const auto analyzer = result.analyze();
+
+    Totals totals;
+    totals.blocked_queries = bed.cloud().blocked_queries();
+    for (const auto* stats : analyzer.domains_by_bytes()) {
+        bool is_acr = false;
+        for (const auto& domain : result.true_acr_domains) {
+            if (stats->domain == domain) is_acr = true;
+        }
+        (is_acr ? totals.acr_kb : totals.other_kb) += stats->kilobytes();
+    }
+    return totals;
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "DNS blocklist intervention (Blokada-style list at the resolver), 20 min of\n"
+                 "linear TV in the UK:\n\n";
+    std::printf("%-8s %-10s %12s %12s %10s\n", "Brand", "blocklist", "ACR KB", "other KB",
+                "NXDOMAINs");
+    bool acr_killed = true;
+    for (const tv::Brand brand : {tv::Brand::kLg, tv::Brand::kSamsung}) {
+        const auto off = run(brand, false);
+        const auto on = run(brand, true);
+        std::printf("%-8s %-10s %12.1f %12.1f %10llu\n", to_string(brand).c_str(), "off",
+                    off.acr_kb, off.other_kb, static_cast<unsigned long long>(off.blocked_queries));
+        std::printf("%-8s %-10s %12.1f %12.1f %10llu\n", to_string(brand).c_str(), "on",
+                    on.acr_kb, on.other_kb, static_cast<unsigned long long>(on.blocked_queries));
+        if (on.acr_kb > 0.5) acr_killed = false;
+        if (off.acr_kb < 10.0) acr_killed = false;  // sanity: baseline had traffic
+    }
+    std::printf("\nACR silenced by DNS blocking: %s\n", acr_killed ? "yes" : "NO");
+    std::printf("(Caveat: real clients may fall back to hard-coded IPs or DoH — our model\n"
+                " resolves honestly, so name-level blocking is fully effective here. The\n"
+                " bench exists to quantify the intervention under that assumption.)\n");
+    return acr_killed ? 0 : 1;
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 5: CDFs of bytes to ACR domains, UK opted-in phases.
+#include "figure_common.hpp"
+
+int main() {
+    using namespace tvacr;
+    return bench::run_cdf_figure_bench("Figure 5", tv::Country::kUk);
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 6: 10 minutes of ACR traffic per scenario, US LIn-OIn.
+#include "figure_common.hpp"
+
+int main() {
+    using namespace tvacr;
+    return bench::run_traffic_figure_bench("Figure 6", tv::Country::kUs);
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 7: CDFs of bytes to ACR domains, US opted-in phases.
+#include "figure_common.hpp"
+
+int main() {
+    using namespace tvacr;
+    return bench::run_cdf_figure_bench("Figure 7", tv::Country::kUs);
+}

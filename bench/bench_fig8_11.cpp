@@ -1,0 +1,28 @@
+// Reproduces Figures 8-11: per-scenario ACR traffic detail for every
+// (country, opted-in phase) combination.
+#include "figure_common.hpp"
+
+int main() {
+    using namespace tvacr;
+    const SimTime duration = bench::bench_duration();
+    struct Figure {
+        const char* name;
+        tv::Country country;
+        tv::Phase phase;
+    };
+    const Figure figures[] = {
+        {"Figure 8", tv::Country::kUk, tv::Phase::kLInOIn},
+        {"Figure 9", tv::Country::kUk, tv::Phase::kLOutOIn},
+        {"Figure 10", tv::Country::kUs, tv::Phase::kLInOIn},
+        {"Figure 11", tv::Country::kUs, tv::Phase::kLOutOIn},
+    };
+    for (const auto& figure : figures) {
+        const auto traces =
+            core::CampaignRunner::run_sweep(figure.country, figure.phase, duration, 2024);
+        bench::print_traffic_figure((std::string(figure.name) + " (LG)").c_str(), tv::Brand::kLg,
+                                    figure.country, figure.phase, traces);
+        bench::print_traffic_figure((std::string(figure.name) + " (Samsung)").c_str(),
+                                    tv::Brand::kSamsung, figure.country, figure.phase, traces);
+    }
+    return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces the paper's Table 2.
+#include "table_common.hpp"
+
+int main() {
+    using namespace tvacr;
+    return bench::run_table_bench(tv::Country::kUk, tv::Phase::kLInOIn, "Table 2");
+}

@@ -1,0 +1,7 @@
+// Reproduces the paper's Table 5.
+#include "table_common.hpp"
+
+int main() {
+    using namespace tvacr;
+    return bench::run_table_bench(tv::Country::kUs, tv::Phase::kLOutOIn, "Table 5");
+}

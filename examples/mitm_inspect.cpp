@@ -1,0 +1,37 @@
+// Looking inside ACR traffic with a lab TLS-interception proxy — the
+// paper's §6 future work, runnable today in simulation.
+//
+// Re-runs the Samsung/UK linear scenario with the MITM tap enabled and
+// prints what the "encrypted" channels actually carry: message-type
+// breakdown per endpoint, the persistent device identifier inside every
+// fingerprint batch (the linkability the hashes don't hide), and the
+// content titles whose recognition the server acknowledged.
+#include <iostream>
+
+#include "core/mitm_audit.hpp"
+
+using namespace tvacr;
+
+int main() {
+    core::ExperimentSpec spec;
+    spec.brand = tv::Brand::kSamsung;
+    spec.country = tv::Country::kUk;
+    spec.scenario = tv::Scenario::kLinear;
+    spec.phase = tv::Phase::kLInOIn;
+    spec.duration = SimTime::minutes(15);
+    spec.seed = 1234;
+
+    std::cout << "Running 15 simulated minutes with the interception proxy enabled...\n\n";
+    const auto report = core::MitmAudit::run(spec);
+    std::cout << report.render() << "\n";
+
+    bool saw_device_id = false;
+    for (const auto& finding : report.findings) {
+        if (!finding.device_ids.empty()) saw_device_id = true;
+    }
+    std::cout << (saw_device_id
+                      ? "=> every fingerprint batch carries a stable device identifier: the\n"
+                        "   'anonymous' hashes are trivially linkable into a viewing history.\n"
+                      : "=> no device identifiers observed (unexpected).\n");
+    return report.records_total > 0 && saw_device_id ? 0 : 1;
+}

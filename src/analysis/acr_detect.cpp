@@ -1,0 +1,75 @@
+#include "analysis/acr_detect.hpp"
+
+#include "common/strings.hpp"
+
+namespace tvacr::analysis {
+
+const std::vector<std::string>& tracker_blocklist() {
+    // Excerpt in the spirit of Blokada's 1Hosts list for smart TVs: the ACR
+    // endpoint families observed in the paper plus the usual platform ad
+    // hosts. Suffix match (subdomains covered).
+    static const std::vector<std::string> list = {
+        "alphonso.tv",
+        "samsungacr.com",
+        "samsungcloud.tv",
+        "samsungcloudsolution.com",
+        "samsungads.com",
+        "lgsmartad.com",
+        "lgads.tv",
+    };
+    return list;
+}
+
+bool is_blocklisted(const std::string& domain) {
+    const std::string lowered = to_lower(domain);
+    for (const auto& entry : tracker_blocklist()) {
+        if (lowered == entry || ends_with(lowered, "." + entry)) return true;
+    }
+    return false;
+}
+
+std::vector<AcrFinding> AcrDomainIdentifier::identify(const CaptureAnalyzer& opted_in,
+                                                      const CaptureAnalyzer* opted_out,
+                                                      SimTime capture_length) const {
+    std::vector<AcrFinding> findings;
+    for (const DomainStats* stats : opted_in.domains_by_bytes()) {
+        AcrFinding finding;
+        finding.domain = stats->domain;
+        finding.name_contains_acr = contains_ci(stats->domain, "acr");
+        finding.blocklisted = is_blocklisted(stats->domain);
+
+        const auto bursts = find_bursts(stats->events, options_.burst_gap);
+        finding.cadence = burst_cadence(bursts);
+        finding.regular_contact = finding.cadence.bursts >= options_.min_bursts &&
+                                  finding.cadence.cv <= options_.max_cadence_cv;
+        finding.period_seconds = dominant_period_seconds(
+            stats->events, capture_length, SimTime::seconds(5), SimTime::minutes(10));
+
+        if (opted_out != nullptr) {
+            const DomainStats* after = opted_out->find(stats->domain);
+            finding.optout_differential = (after == nullptr || after->packets == 0);
+        }
+
+        // Verdict: the name filter is the primary signal (the paper's
+        // methodology); blocklist membership or regular cadence confirms it,
+        // and a positive opt-out differential (when measured) must not be
+        // contradicted.
+        finding.verdict = finding.name_contains_acr &&
+                          (finding.blocklisted || finding.regular_contact) &&
+                          finding.optout_differential.value_or(true);
+        findings.push_back(std::move(finding));
+    }
+    return findings;
+}
+
+std::vector<std::string> AcrDomainIdentifier::acr_domains(const CaptureAnalyzer& opted_in,
+                                                          const CaptureAnalyzer* opted_out,
+                                                          SimTime capture_length) const {
+    std::vector<std::string> out;
+    for (const auto& finding : identify(opted_in, opted_out, capture_length)) {
+        if (finding.verdict) out.push_back(finding.domain);
+    }
+    return out;
+}
+
+}  // namespace tvacr::analysis

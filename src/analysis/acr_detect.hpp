@@ -1,0 +1,62 @@
+// ACR-domain identification — the paper's three-legged heuristic (§3.2):
+//  (1) the domain name contains the string "acr";
+//  (2) the domain appears on privacy blocklists (Blokada/Netify classify
+//      these endpoints as tracking-related);
+//  (3) validation: the domain shows *regular* contact patterns (unlike
+//      ad domains such as samsungads.com) and disappears entirely once the
+//      user opts out of viewing information.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/timeseries.hpp"
+#include "analysis/traffic.hpp"
+
+namespace tvacr::analysis {
+
+/// Embedded excerpt of a Blokada-style tracker blocklist covering the smart
+/// TV ecosystem (the paper cross-checked candidates against such lists).
+[[nodiscard]] const std::vector<std::string>& tracker_blocklist();
+[[nodiscard]] bool is_blocklisted(const std::string& domain);
+
+struct AcrFinding {
+    std::string domain;
+    bool name_contains_acr = false;
+    bool blocklisted = false;
+    CadenceStats cadence;
+    double period_seconds = 0.0;      // 0 when no dominant period
+    bool regular_contact = false;     // cadence CV below threshold
+    std::optional<bool> optout_differential;  // set when an opt-out capture was supplied
+    bool verdict = false;             // final: treat as ACR endpoint
+};
+
+class AcrDomainIdentifier {
+  public:
+    struct Options {
+        SimTime burst_gap = SimTime::seconds(5);
+        double max_cadence_cv = 0.35;
+        std::size_t min_bursts = 4;
+    };
+
+    AcrDomainIdentifier() : options_(Options{}) {}
+    explicit AcrDomainIdentifier(Options options) : options_(options) {}
+
+    /// Scores every domain in an opted-in capture. When `opted_out` is
+    /// provided, the opt-out differential is evaluated: a candidate seen in
+    /// the opted-in capture but absent after opt-out is strong evidence.
+    [[nodiscard]] std::vector<AcrFinding> identify(const CaptureAnalyzer& opted_in,
+                                                   const CaptureAnalyzer* opted_out = nullptr,
+                                                   SimTime capture_length = SimTime::hours(1)) const;
+
+    /// Convenience: names of domains with a positive verdict.
+    [[nodiscard]] std::vector<std::string> acr_domains(const CaptureAnalyzer& opted_in,
+                                                       const CaptureAnalyzer* opted_out = nullptr,
+                                                       SimTime capture_length = SimTime::hours(1)) const;
+
+  private:
+    Options options_;
+};
+
+}  // namespace tvacr::analysis

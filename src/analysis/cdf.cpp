@@ -1,0 +1,50 @@
+#include "analysis/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvacr::analysis {
+
+std::vector<CumulativePoint> cumulative_bytes(const std::vector<PacketEvent>& events) {
+    std::vector<CumulativePoint> curve;
+    curve.reserve(events.size());
+    std::uint64_t running = 0;
+    for (const auto& event : events) {
+        running += event.frame_bytes;
+        curve.push_back(CumulativePoint{event.timestamp, running, 0.0});
+    }
+    const double total = running > 0 ? static_cast<double>(running) : 1.0;
+    for (auto& point : curve) {
+        point.fraction = static_cast<double>(point.bytes) / total;
+    }
+    return curve;
+}
+
+std::vector<CumulativePoint> resample(const std::vector<CumulativePoint>& curve, SimTime start,
+                                      SimTime end, SimTime step) {
+    std::vector<CumulativePoint> out;
+    std::size_t cursor = 0;
+    CumulativePoint last{start, 0, 0.0};
+    for (SimTime t = start; t <= end; t += step) {
+        while (cursor < curve.size() && curve[cursor].time <= t) {
+            last = curve[cursor];
+            ++cursor;
+        }
+        out.push_back(CumulativePoint{t, last.bytes, last.fraction});
+    }
+    return out;
+}
+
+double max_fraction_gap(const std::vector<CumulativePoint>& a,
+                        const std::vector<CumulativePoint>& b, SimTime start, SimTime end,
+                        SimTime step) {
+    const auto ra = resample(a, start, end, step);
+    const auto rb = resample(b, start, end, step);
+    double gap = 0.0;
+    for (std::size_t i = 0; i < std::min(ra.size(), rb.size()); ++i) {
+        gap = std::max(gap, std::abs(ra[i].fraction - rb[i].fraction));
+    }
+    return gap;
+}
+
+}  // namespace tvacr::analysis

@@ -1,0 +1,35 @@
+// Cumulative bytes over time (Figures 5 and 7): how data transfer to an ACR
+// domain accumulates across the experiment, normalized for cross-phase
+// comparison.
+#pragma once
+
+#include <vector>
+
+#include "analysis/traffic.hpp"
+
+namespace tvacr::analysis {
+
+struct CumulativePoint {
+    SimTime time;
+    std::uint64_t bytes = 0;   // cumulative bytes up to `time`
+    double fraction = 0.0;     // bytes / total (1.0 at the end)
+};
+
+/// Cumulative transfer curve for a set of packet events. One point per
+/// event, time-ordered.
+[[nodiscard]] std::vector<CumulativePoint> cumulative_bytes(
+    const std::vector<PacketEvent>& events);
+
+/// Resamples a cumulative curve onto a fixed time grid (for plotting several
+/// phases on a shared axis).
+[[nodiscard]] std::vector<CumulativePoint> resample(const std::vector<CumulativePoint>& curve,
+                                                    SimTime start, SimTime end, SimTime step);
+
+/// Maximum vertical distance between two normalized cumulative curves — a
+/// Kolmogorov–Smirnov-style similarity used to test the paper's claim that
+/// logged-in and logged-out phases transfer data alike.
+[[nodiscard]] double max_fraction_gap(const std::vector<CumulativePoint>& a,
+                                      const std::vector<CumulativePoint>& b, SimTime start,
+                                      SimTime end, SimTime step);
+
+}  // namespace tvacr::analysis

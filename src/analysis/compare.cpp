@@ -1,0 +1,94 @@
+#include "analysis/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace tvacr::analysis {
+
+std::optional<double> ComparedCell::ratio() const {
+    if (!reference || *reference <= 0.0 || measured <= 0.0) return std::nullopt;
+    return measured / *reference;
+}
+
+bool ComparedCell::both_absent() const { return !reference && measured == 0.0; }
+
+bool ComparedCell::absence_mismatch() const {
+    const bool reference_absent = !reference || *reference == 0.0;
+    const bool measured_absent = measured == 0.0;
+    return reference_absent != measured_absent;
+}
+
+void Comparison::add(ComparedCell cell) { cells_.push_back(std::move(cell)); }
+
+ComparisonSummary Comparison::summarize() const {
+    ComparisonSummary summary;
+    summary.cells_total = static_cast<int>(cells_.size());
+    double log_sum = 0.0;
+    for (const auto& cell : cells_) {
+        if (cell.both_absent()) {
+            ++summary.absent_agreements;
+            continue;
+        }
+        if (cell.absence_mismatch()) {
+            ++summary.absence_mismatches;
+            continue;
+        }
+        const auto ratio = cell.ratio();
+        if (!ratio) continue;
+        ++summary.cells_compared;
+        log_sum += std::log(*ratio);
+        if (*ratio > 1.0 / factor_ && *ratio < factor_) ++summary.within_factor;
+        const double distance = std::max(*ratio, 1.0 / *ratio);
+        if (distance > summary.worst_ratio) {
+            summary.worst_ratio = distance;
+            summary.worst_cell = cell.row + " / " + cell.column;
+        }
+    }
+    if (summary.cells_compared > 0) {
+        summary.geometric_mean_ratio = std::exp(log_sum / summary.cells_compared);
+    }
+    return summary;
+}
+
+std::string Comparison::to_markdown(const std::string& corner_label) const {
+    // Preserve first-seen order of rows and columns.
+    std::vector<std::string> rows;
+    std::vector<std::string> columns;
+    std::map<std::pair<std::string, std::string>, const ComparedCell*> grid;
+    for (const auto& cell : cells_) {
+        if (std::find(rows.begin(), rows.end(), cell.row) == rows.end()) rows.push_back(cell.row);
+        if (std::find(columns.begin(), columns.end(), cell.column) == columns.end()) {
+            columns.push_back(cell.column);
+        }
+        grid[{cell.row, cell.column}] = &cell;
+    }
+
+    std::ostringstream out;
+    out << "| " << corner_label;
+    for (const auto& column : columns) out << " | " << column;
+    out << " |\n|";
+    for (std::size_t i = 0; i <= columns.size(); ++i) out << "---|";
+    out << "\n";
+    for (const auto& row : rows) {
+        out << "| " << row;
+        for (const auto& column : columns) {
+            const auto it = grid.find({row, column});
+            out << " | ";
+            if (it == grid.end()) {
+                out << " ";
+                continue;
+            }
+            const auto& cell = *it->second;
+            out << format_kb(cell.measured) << " / "
+                << (cell.reference ? format_kb(*cell.reference) : "-");
+        }
+        out << " |\n";
+    }
+    return out.str();
+}
+
+}  // namespace tvacr::analysis

@@ -1,0 +1,55 @@
+// Paper-vs-measured comparison scoring: ratio statistics over matched table
+// cells, shape assertions, and markdown rendering for EXPERIMENTS-style
+// reports. Used by the table benches and by regression tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tvacr::analysis {
+
+struct ComparedCell {
+    std::string row;     // e.g. the domain
+    std::string column;  // e.g. the scenario
+    double measured = 0.0;
+    std::optional<double> reference;  // nullopt: paper shows '-'
+
+    /// measured/reference; nullopt when not comparable (no reference, or
+    /// both are zero — which counts as agreement, not a ratio).
+    [[nodiscard]] std::optional<double> ratio() const;
+    /// Agreement on absence: paper '-' and measured 0.
+    [[nodiscard]] bool both_absent() const;
+    /// Disagreement on absence: exactly one side is zero/absent.
+    [[nodiscard]] bool absence_mismatch() const;
+};
+
+struct ComparisonSummary {
+    int cells_total = 0;
+    int cells_compared = 0;       // both sides non-zero
+    int within_factor = 0;        // ratio in (1/factor, factor)
+    int absent_agreements = 0;    // '-' on both sides
+    int absence_mismatches = 0;
+    double worst_ratio = 1.0;     // farthest from 1 (as max(r, 1/r))
+    std::string worst_cell;
+    double geometric_mean_ratio = 1.0;
+};
+
+class Comparison {
+  public:
+    explicit Comparison(double factor = 2.0) : factor_(factor) {}
+
+    void add(ComparedCell cell);
+
+    [[nodiscard]] ComparisonSummary summarize() const;
+    [[nodiscard]] const std::vector<ComparedCell>& cells() const noexcept { return cells_; }
+
+    /// "measured / paper" markdown table, rows x columns in insertion order.
+    [[nodiscard]] std::string to_markdown(const std::string& corner_label) const;
+
+  private:
+    double factor_;
+    std::vector<ComparedCell> cells_;
+};
+
+}  // namespace tvacr::analysis

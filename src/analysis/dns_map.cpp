@@ -1,0 +1,41 @@
+#include "analysis/dns_map.hpp"
+
+#include "dns/message.hpp"
+
+namespace tvacr::analysis {
+
+void DnsMap::ingest(const net::ParsedPacket& packet) {
+    if (!packet.udp || packet.udp->source_port != dns::kDnsPort) return;
+    auto message = dns::DnsMessage::decode(packet.payload);
+    if (!message || !message.value().is_response) return;
+    ++responses_seen_;
+    if (message.value().questions.empty()) return;
+
+    const std::string queried = message.value().questions.front().name.to_string();
+    auto& entry = by_name_[queried];
+    if (entry.name.empty()) {
+        entry.name = queried;
+        entry.first_seen = packet.timestamp;
+    }
+    for (const auto& record : message.value().answers) {
+        if (record.type != dns::RecordType::kA) continue;
+        const auto address = std::get<net::Ipv4Address>(record.rdata);
+        by_address_.emplace(address, queried);  // first mapping wins
+        entry.addresses.push_back(address);
+    }
+}
+
+std::optional<std::string> DnsMap::domain_of(net::Ipv4Address address) const {
+    const auto it = by_address_.find(address);
+    if (it == by_address_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::vector<DnsMap::QueriedName> DnsMap::queried_names() const {
+    std::vector<QueriedName> out;
+    out.reserve(by_name_.size());
+    for (const auto& [name, entry] : by_name_) out.push_back(entry);
+    return out;
+}
+
+}  // namespace tvacr::analysis

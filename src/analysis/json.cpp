@@ -1,0 +1,128 @@
+#include "analysis/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tvacr::analysis {
+
+std::string JsonWriter::escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void JsonWriter::prefix() {
+    if (pending_key_) {
+        pending_key_ = false;
+        return;  // the key already wrote "name": with its comma handling
+    }
+    if (!has_items_.empty()) {
+        if (has_items_.back()) out_ += ',';
+        has_items_.back() = true;
+    }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    prefix();
+    out_ += '{';
+    stack_.push_back(true);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    out_ += '}';
+    stack_.pop_back();
+    has_items_.pop_back();
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    prefix();
+    out_ += '[';
+    stack_.push_back(false);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    out_ += ']';
+    stack_.pop_back();
+    has_items_.pop_back();
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+    if (!has_items_.empty()) {
+        if (has_items_.back()) out_ += ',';
+        has_items_.back() = true;
+    }
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+    prefix();
+    out_ += '"';
+    out_ += escape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+    prefix();
+    if (!std::isfinite(number)) {
+        out_ += "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", number);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+    prefix();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+    prefix();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+    prefix();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+    prefix();
+    out_ += "null";
+    return *this;
+}
+
+}  // namespace tvacr::analysis

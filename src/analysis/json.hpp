@@ -1,0 +1,55 @@
+// A minimal JSON writer (no external dependencies) used to export analysis
+// results in machine-readable form for downstream plotting/statistics.
+// Writer-only by design: the toolkit never needs to parse JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tvacr::analysis {
+
+/// Streaming JSON writer with container-context bookkeeping. Usage:
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("domain").value("eu-acrX.alphonso.tv");
+///   json.key("kb").value(4759.7);
+///   json.end_object();
+///   std::string text = std::move(json).take();
+class JsonWriter {
+  public:
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Object key; must be followed by exactly one value or container.
+    JsonWriter& key(std::string_view name);
+
+    JsonWriter& value(std::string_view text);
+    JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+    JsonWriter& value(double number);
+    JsonWriter& value(std::int64_t number);
+    JsonWriter& value(std::uint64_t number);
+    JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+    JsonWriter& value(bool flag);
+    JsonWriter& null();
+
+    [[nodiscard]] const std::string& text() const noexcept { return out_; }
+    [[nodiscard]] std::string take() && { return std::move(out_); }
+
+    /// JSON string escaping (exposed for tests).
+    [[nodiscard]] static std::string escape(std::string_view text);
+
+  private:
+    void prefix();
+
+    std::string out_;
+    // Context stack: true = inside object, false = inside array.
+    std::vector<bool> stack_;
+    std::vector<bool> has_items_;
+    bool pending_key_ = false;
+};
+
+}  // namespace tvacr::analysis

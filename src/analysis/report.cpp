@@ -1,0 +1,113 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace tvacr::analysis {
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(header.size(), 0);
+    const auto grow = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    };
+    grow(header);
+    for (const auto& row : rows) grow(row);
+
+    std::ostringstream out;
+    if (!title.empty()) out << title << "\n";
+    const auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < row.size() ? row[i] : std::string();
+            // First column left-aligned (names), numbers right-aligned.
+            out << (i == 0 ? pad_right(cell, widths[i]) : pad_left(cell, widths[i]));
+            out << (i + 1 == widths.size() ? "\n" : "  ");
+        }
+    };
+    emit_row(header);
+    std::size_t rule = 0;
+    for (const auto w : widths) rule += w + 2;
+    out << std::string(rule > 2 ? rule - 2 : 0, '-') << "\n";
+    for (const auto& row : rows) emit_row(row);
+    return out.str();
+}
+
+std::string Table::to_csv() const {
+    std::ostringstream out;
+    out << join(header, ",") << "\n";
+    for (const auto& row : rows) out << join(row, ",") << "\n";
+    return out.str();
+}
+
+std::string sparkline(const BucketSeries& series, std::size_t width) {
+    static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+    if (series.values.empty()) return "";
+    // Downsample to `width` columns by taking the max within each column —
+    // bursts must stay visible.
+    std::vector<double> columns(std::min(width, series.values.size()), 0.0);
+    const double per_column =
+        static_cast<double>(series.values.size()) / static_cast<double>(columns.size());
+    double peak = 0.0;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        const auto begin = static_cast<std::size_t>(static_cast<double>(c) * per_column);
+        const auto end = std::min(series.values.size(),
+                                  static_cast<std::size_t>(static_cast<double>(c + 1) * per_column) + 1);
+        for (std::size_t i = begin; i < end; ++i) columns[c] = std::max(columns[c], series.values[i]);
+        peak = std::max(peak, columns[c]);
+    }
+    std::string out;
+    for (const double value : columns) {
+        const int level =
+            peak <= 0.0 ? 0 : static_cast<int>(value / peak * 8.0 + (value > 0 ? 0.999 : 0.0));
+        out += kLevels[std::clamp(level, 0, 8)];
+    }
+    return out;
+}
+
+std::string render_figure(const std::string& title, const std::vector<FigurePanel>& panels,
+                          std::size_t width) {
+    std::ostringstream out;
+    out << title << "\n";
+    std::size_t label_width = 0;
+    for (const auto& panel : panels) label_width = std::max(label_width, panel.label.size());
+    for (const auto& panel : panels) {
+        double peak = 0.0;
+        for (const double v : panel.series.values) peak = std::max(peak, v);
+        out << pad_right(panel.label, label_width) << " |" << sparkline(panel.series, width)
+            << "| peak=" << static_cast<long long>(peak) << "\n";
+    }
+    if (!panels.empty()) {
+        const auto& series = panels.front().series;
+        const double span_s =
+            (series.bucket_width * static_cast<std::int64_t>(series.values.size())).as_seconds();
+        char axis[64];
+        std::snprintf(axis, sizeof(axis), "%*s +%.0fs -> +%.0fs", static_cast<int>(label_width),
+                      "", series.start.as_seconds(), series.start.as_seconds() + span_s);
+        out << axis << "\n";
+    }
+    return out.str();
+}
+
+std::string series_to_csv(const BucketSeries& series) {
+    std::ostringstream out;
+    out << "time_s,value\n";
+    for (std::size_t i = 0; i < series.values.size(); ++i) {
+        out << series.time_of(i).as_seconds() << "," << series.values[i] << "\n";
+    }
+    return out.str();
+}
+
+std::string cumulative_to_csv(const std::vector<CumulativePoint>& curve) {
+    std::ostringstream out;
+    out << "time_s,bytes,fraction\n";
+    for (const auto& point : curve) {
+        out << point.time.as_seconds() << "," << point.bytes << "," << point.fraction << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace tvacr::analysis

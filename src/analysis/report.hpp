@@ -1,0 +1,43 @@
+// Report rendering: paper-style ASCII tables, CSV series for plotting, and
+// terminal sparkline "figures" for the traffic-timing plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cdf.hpp"
+#include "analysis/timeseries.hpp"
+
+namespace tvacr::analysis {
+
+/// A generic table: header row plus body rows, rendered with column-aligned
+/// ASCII in the style of the paper's Tables 2-5.
+struct Table {
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    [[nodiscard]] std::string render() const;
+    [[nodiscard]] std::string to_csv() const;
+};
+
+/// Renders a bucket series as a one-line unicode sparkline (8 levels),
+/// optionally annotated with the window bounds.
+[[nodiscard]] std::string sparkline(const BucketSeries& series, std::size_t width = 100);
+
+/// Multi-row "figure": a labelled sparkline per series, shared time axis.
+struct FigurePanel {
+    std::string label;
+    BucketSeries series;
+};
+[[nodiscard]] std::string render_figure(const std::string& title,
+                                        const std::vector<FigurePanel>& panels,
+                                        std::size_t width = 100);
+
+/// CSV for a bucket series: time_s,value.
+[[nodiscard]] std::string series_to_csv(const BucketSeries& series);
+
+/// CSV for a cumulative curve: time_s,bytes,fraction.
+[[nodiscard]] std::string cumulative_to_csv(const std::vector<CumulativePoint>& curve);
+
+}  // namespace tvacr::analysis

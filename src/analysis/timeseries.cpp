@@ -1,0 +1,66 @@
+#include "analysis/timeseries.hpp"
+
+namespace tvacr::analysis {
+
+BucketSeries bucketize(const std::vector<PacketEvent>& events, SimTime window_start,
+                       SimTime window_length, SimTime bucket_width, SeriesMetric metric) {
+    BucketSeries series;
+    series.start = window_start;
+    series.bucket_width = bucket_width;
+    const auto buckets = static_cast<std::size_t>(window_length / bucket_width);
+    series.values.assign(buckets, 0.0);
+    for (const auto& event : events) {
+        if (event.timestamp < window_start) continue;
+        const SimTime offset = event.timestamp - window_start;
+        const auto index = static_cast<std::size_t>(offset / bucket_width);
+        if (index >= buckets) continue;
+        series.values[index] += metric == SeriesMetric::kPackets
+                                    ? 1.0
+                                    : static_cast<double>(event.frame_bytes);
+    }
+    return series;
+}
+
+std::vector<Burst> find_bursts(const std::vector<PacketEvent>& events, SimTime max_gap) {
+    std::vector<Burst> bursts;
+    for (const auto& event : events) {
+        if (bursts.empty() || event.timestamp - bursts.back().end > max_gap) {
+            bursts.push_back(Burst{event.timestamp, event.timestamp, 0, 0});
+        }
+        auto& burst = bursts.back();
+        burst.end = event.timestamp;
+        burst.packets += 1;
+        burst.bytes += event.frame_bytes;
+    }
+    return bursts;
+}
+
+CadenceStats burst_cadence(const std::vector<Burst>& bursts) {
+    CadenceStats stats;
+    stats.bursts = bursts.size();
+    if (bursts.size() < 2) return stats;
+    std::vector<double> intervals;
+    intervals.reserve(bursts.size() - 1);
+    for (std::size_t i = 1; i < bursts.size(); ++i) {
+        intervals.push_back((bursts[i].start - bursts[i - 1].start).as_seconds());
+    }
+    stats.mean_interval_s = mean(intervals);
+    stats.cv = coefficient_of_variation(intervals);
+    return stats;
+}
+
+double dominant_period_seconds(const std::vector<PacketEvent>& events, SimTime capture_length,
+                               SimTime min_period, SimTime max_period) {
+    // 500 ms buckets give 2-sample resolution at the shortest period of
+    // interest (LG's 15 s) while keeping hour-long series small.
+    const SimTime bucket = SimTime::millis(500);
+    const BucketSeries series =
+        bucketize(events, SimTime{}, capture_length, bucket, SeriesMetric::kPackets);
+    const auto min_lag = static_cast<std::size_t>(std::max<std::int64_t>(1, min_period / bucket));
+    const auto max_lag = static_cast<std::size_t>(max_period / bucket);
+    const auto estimate = dominant_period(series.values, min_lag, max_lag, /*threshold=*/0.25);
+    if (!estimate) return 0.0;
+    return (bucket * static_cast<std::int64_t>(estimate->lag_samples)).as_seconds();
+}
+
+}  // namespace tvacr::analysis

@@ -1,0 +1,58 @@
+// Packet timing analysis: packets-per-bucket series (the Figures 4/6/8-11
+// "packet-per-millisecond" view), burst extraction, and period inference —
+// the paper derives LG's 15 s and Samsung's 60 s upload cadences purely
+// from these series.
+#pragma once
+
+#include <vector>
+
+#include "analysis/traffic.hpp"
+#include "common/stats.hpp"
+
+namespace tvacr::analysis {
+
+/// Packets (or bytes) per fixed-width bucket over a window.
+struct BucketSeries {
+    SimTime start;
+    SimTime bucket_width;
+    std::vector<double> values;
+
+    [[nodiscard]] SimTime time_of(std::size_t index) const {
+        return start + bucket_width * static_cast<std::int64_t>(index);
+    }
+};
+
+enum class SeriesMetric { kPackets, kBytes };
+
+/// Buckets `events` into fixed-width slots within [window_start,
+/// window_start + window_length).
+[[nodiscard]] BucketSeries bucketize(const std::vector<PacketEvent>& events, SimTime window_start,
+                                     SimTime window_length, SimTime bucket_width,
+                                     SeriesMetric metric);
+
+/// A contiguous traffic burst: packets separated by gaps < `max_gap`.
+struct Burst {
+    SimTime start;
+    SimTime end;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+};
+[[nodiscard]] std::vector<Burst> find_bursts(const std::vector<PacketEvent>& events,
+                                             SimTime max_gap);
+
+/// Inter-burst cadence statistics: the regular-contact signature that
+/// distinguishes ACR endpoints from ordinary ad/tracking domains.
+struct CadenceStats {
+    std::size_t bursts = 0;
+    double mean_interval_s = 0.0;
+    double cv = 0.0;  // coefficient of variation of inter-burst intervals
+};
+[[nodiscard]] CadenceStats burst_cadence(const std::vector<Burst>& bursts);
+
+/// Dominant period of the packet series via autocorrelation, in seconds.
+/// Searches [min_period, max_period]; returns 0 when nothing dominates.
+[[nodiscard]] double dominant_period_seconds(const std::vector<PacketEvent>& events,
+                                             SimTime capture_length, SimTime min_period,
+                                             SimTime max_period);
+
+}  // namespace tvacr::analysis

@@ -1,0 +1,144 @@
+#include "common/bytes.hpp"
+
+#include <algorithm>
+
+namespace tvacr {
+
+void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::u16le(std::uint16_t v) {
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+    buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32le(std::uint32_t v) {
+    u16le(static_cast<std::uint16_t>(v));
+    u16le(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::raw(BytesView bytes) { buffer_.insert(buffer_.end(), bytes.begin(), bytes.end()); }
+
+void ByteWriter::raw(std::string_view text) {
+    buffer_.insert(buffer_.end(), text.begin(), text.end());
+}
+
+void ByteWriter::fill(std::size_t count, std::uint8_t fill_byte) {
+    buffer_.insert(buffer_.end(), count, fill_byte);
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+    buffer_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+    buffer_.at(offset + 1) = static_cast<std::uint8_t>(v);
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+    if (remaining() < 1) return make_error("ByteReader: read u8 past end");
+    return data_[position_++];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+    if (remaining() < 2) return make_error("ByteReader: read u16 past end");
+    const auto hi = data_[position_];
+    const auto lo = data_[position_ + 1];
+    position_ += 2;
+    return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+    auto hi = u16();
+    if (!hi) return hi.error();
+    auto lo = u16();
+    if (!lo) return lo.error();
+    return (static_cast<std::uint32_t>(hi.value()) << 16) | lo.value();
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+    auto hi = u32();
+    if (!hi) return hi.error();
+    auto lo = u32();
+    if (!lo) return lo.error();
+    return (static_cast<std::uint64_t>(hi.value()) << 32) | lo.value();
+}
+
+Result<std::uint16_t> ByteReader::u16le() {
+    if (remaining() < 2) return make_error("ByteReader: read u16le past end");
+    const auto lo = data_[position_];
+    const auto hi = data_[position_ + 1];
+    position_ += 2;
+    return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+Result<std::uint32_t> ByteReader::u32le() {
+    auto lo = u16le();
+    if (!lo) return lo.error();
+    auto hi = u16le();
+    if (!hi) return hi.error();
+    return (static_cast<std::uint32_t>(hi.value()) << 16) | lo.value();
+}
+
+Result<Bytes> ByteReader::raw(std::size_t count) {
+    if (remaining() < count) return make_error("ByteReader: raw read past end");
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(position_),
+              data_.begin() + static_cast<std::ptrdiff_t>(position_ + count));
+    position_ += count;
+    return out;
+}
+
+Status ByteReader::skip(std::size_t count) {
+    if (remaining() < count) return make_error("ByteReader: skip past end");
+    position_ += count;
+    return Status::success();
+}
+
+Status ByteReader::seek(std::size_t absolute_offset) {
+    if (absolute_offset > data_.size()) return make_error("ByteReader: seek past end");
+    position_ = absolute_offset;
+    return Status::success();
+}
+
+std::string to_hex(BytesView bytes) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const auto b : bytes) {
+        out.push_back(kDigits[b >> 4]);
+        out.push_back(kDigits[b & 0xF]);
+    }
+    return out;
+}
+
+Result<Bytes> from_hex(std::string_view hex) {
+    if (hex.size() % 2 != 0) return make_error("from_hex: odd-length input");
+    const auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+    };
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = nibble(hex[i]);
+        const int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0) return make_error("from_hex: non-hex character");
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+}  // namespace tvacr

@@ -1,0 +1,85 @@
+// Byte-buffer building and parsing in network (big-endian) order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace tvacr {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends integers and raw bytes to a growing buffer in network byte order.
+/// All multi-byte writes are big-endian, matching on-the-wire protocol fields.
+class ByteWriter {
+  public:
+    ByteWriter() = default;
+    explicit ByteWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /// Little-endian variants (pcap file headers are host/LE-defined).
+    void u16le(std::uint16_t v);
+    void u32le(std::uint32_t v);
+    void raw(BytesView bytes);
+    void raw(std::string_view text);
+    /// Appends `count` copies of `fill`.
+    void fill(std::size_t count, std::uint8_t fill_byte);
+
+    /// Overwrites 2 bytes at `offset` (e.g. a length/checksum backpatch).
+    void patch_u16(std::size_t offset, std::uint16_t v);
+
+    [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+    [[nodiscard]] BytesView view() const noexcept { return buffer_; }
+    [[nodiscard]] const Bytes& bytes() const noexcept { return buffer_; }
+    [[nodiscard]] Bytes take() && { return std::move(buffer_); }
+
+  private:
+    Bytes buffer_;
+};
+
+/// Sequential big-endian reader over a fixed byte span. All reads are
+/// bounds-checked and return Result; a short buffer is a decode error, never
+/// undefined behaviour.
+class ByteReader {
+  public:
+    explicit ByteReader(BytesView data) : data_(data) {}
+
+    [[nodiscard]] Result<std::uint8_t> u8();
+    [[nodiscard]] Result<std::uint16_t> u16();
+    [[nodiscard]] Result<std::uint32_t> u32();
+    [[nodiscard]] Result<std::uint64_t> u64();
+    [[nodiscard]] Result<std::uint16_t> u16le();
+    [[nodiscard]] Result<std::uint32_t> u32le();
+    [[nodiscard]] Result<Bytes> raw(std::size_t count);
+    Status skip(std::size_t count);
+
+    /// Absolute-position seek within the underlying buffer (DNS compression
+    /// pointers need random access).
+    Status seek(std::size_t absolute_offset);
+
+    [[nodiscard]] std::size_t position() const noexcept { return position_; }
+    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - position_; }
+    [[nodiscard]] bool at_end() const noexcept { return remaining() == 0; }
+    [[nodiscard]] BytesView underlying() const noexcept { return data_; }
+
+  private:
+    BytesView data_;
+    std::size_t position_ = 0;
+};
+
+/// Lowercase hex rendering, e.g. {0xde, 0xad} -> "dead".
+[[nodiscard]] std::string to_hex(BytesView bytes);
+
+/// Parses lowercase/uppercase hex; fails on odd length or non-hex characters.
+[[nodiscard]] Result<Bytes> from_hex(std::string_view hex);
+
+}  // namespace tvacr

@@ -1,0 +1,78 @@
+// Minimal expected-style result type (std::expected is C++23; we target C++20).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tvacr {
+
+/// Error payload carried by Result<T>. A short machine-usable code plus a
+/// human-readable message describing what failed.
+struct Error {
+    std::string message;
+
+    friend bool operator==(const Error&, const Error&) = default;
+};
+
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+/// Result<T> is a discriminated union of a value and an Error. Parsing and
+/// decoding paths return Result instead of throwing: malformed network input
+/// is an expected condition, not a programming error.
+template <typename T>
+class [[nodiscard]] Result {
+  public:
+    Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+    Result(Error error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+    [[nodiscard]] bool ok() const noexcept { return storage_.index() == 0; }
+    explicit operator bool() const noexcept { return ok(); }
+
+    [[nodiscard]] const T& value() const& {
+        assert(ok());
+        return std::get<0>(storage_);
+    }
+    [[nodiscard]] T& value() & {
+        assert(ok());
+        return std::get<0>(storage_);
+    }
+    [[nodiscard]] T&& value() && {
+        assert(ok());
+        return std::get<0>(std::move(storage_));
+    }
+
+    [[nodiscard]] const Error& error() const {
+        assert(!ok());
+        return std::get<1>(storage_);
+    }
+
+    /// Value or a caller-supplied fallback; never asserts.
+    [[nodiscard]] T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+  private:
+    std::variant<T, Error> storage_;
+};
+
+/// Specialization-free void result: Status is ok or an Error.
+class [[nodiscard]] Status {
+  public:
+    Status() = default;
+    Status(Error error) : error_(std::move(error)), ok_(false) {}
+
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+    explicit operator bool() const noexcept { return ok_; }
+    [[nodiscard]] const Error& error() const {
+        assert(!ok_);
+        return error_;
+    }
+
+    static Status success() { return Status{}; }
+
+  private:
+    Error error_;
+    bool ok_ = true;
+};
+
+}  // namespace tvacr

@@ -1,0 +1,35 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvacr {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) noexcept {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Multiply-shift mapping on the top 32 bits; bias is negligible for our
+    // spans (all far below 2^32) and it avoids non-standard 128-bit types.
+    const std::uint64_t top = (*this)() >> 32;
+    return lo + static_cast<std::int64_t>((top * span) >> 32);
+}
+
+double Rng::uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    // Box–Muller; draws two uniforms per call, discards the sibling variate.
+    double u1 = uniform01();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform01();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+bool Rng::chance(double p) noexcept { return uniform01() < std::clamp(p, 0.0, 1.0); }
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t label) noexcept {
+    return splitmix64(parent ^ splitmix64(label ^ 0xAC12D0DA1DULL));
+}
+
+}  // namespace tvacr

@@ -1,0 +1,72 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the toolkit (payload jitter, content synthesis,
+// latency noise) draws from an explicitly seeded generator so experiment runs
+// are exactly reproducible — a requirement for regression-testing the audit
+// pipeline against the paper's tables.
+#pragma once
+
+#include <cstdint>
+
+namespace tvacr {
+
+/// splitmix64: used for seeding and cheap hashing of identifiers.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/// xoshiro256** — small, fast, high-quality PRNG. Satisfies enough of
+/// UniformRandomBitGenerator for our local helpers.
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) noexcept {
+        std::uint64_t s = seed;
+        for (auto& word : state_) {
+            s = splitmix64(s);
+            word = s;
+        }
+    }
+
+    using result_type = std::uint64_t;
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept { return ~0ULL; }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Uniform double in [0, 1).
+    [[nodiscard]] double uniform01() noexcept;
+
+    /// Gaussian via Box–Muller.
+    [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+    /// True with probability p (clamped to [0,1]).
+    [[nodiscard]] bool chance(double p) noexcept;
+
+  private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t state_[4] = {};
+};
+
+/// Derives a child seed from a parent seed and a label, so subsystems get
+/// independent deterministic streams ("experiment 7" / "content" / "latency").
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t label) noexcept;
+
+}  // namespace tvacr

@@ -1,0 +1,79 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvacr {
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    const double m = mean(xs);
+    double sum = 0.0;
+    for (const double x : xs) sum += (x - m) * (x - m);
+    return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::vector<double> xs, double q) {
+    if (xs.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(xs.begin(), xs.end());
+    const double rank = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+    const double m = mean(xs);
+    if (m == 0.0) return 0.0;
+    return stddev(xs) / m;
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+    if (xs.size() <= lag || lag == 0) return 0.0;
+    const double m = mean(xs);
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double d = xs[i] - m;
+        den += d * d;
+        if (i + lag < xs.size()) num += d * (xs[i + lag] - m);
+    }
+    if (den == 0.0) return 0.0;
+    return num / den;
+}
+
+std::optional<PeriodEstimate> dominant_period(std::span<const double> xs, std::size_t min_lag,
+                                              std::size_t max_lag, double threshold) {
+    std::optional<PeriodEstimate> best;
+    for (std::size_t lag = min_lag; lag <= max_lag && lag < xs.size(); ++lag) {
+        const double score = autocorrelation(xs, lag);
+        if (score >= threshold && (!best || score > best->score)) {
+            best = PeriodEstimate{lag, score};
+        }
+    }
+    return best;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+    std::sort(xs.begin(), xs.end());
+    std::vector<CdfPoint> out;
+    out.reserve(xs.size());
+    const double n = static_cast<double>(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        out.push_back(CdfPoint{xs[i], static_cast<double>(i + 1) / n});
+    }
+    return out;
+}
+
+}  // namespace tvacr

@@ -1,0 +1,48 @@
+// Descriptive statistics used by the traffic-analysis layer: moments,
+// percentiles, empirical CDFs, and autocorrelation-based period detection
+// (the paper infers LG's 15 s and Samsung's 60 s ACR burst periods from
+// traffic timing alone; we implement that inference).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tvacr {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  // population variance
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile; q in [0,1]. Returns 0 for empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+/// Coefficient of variation (stddev/mean); 0 when the mean is 0.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
+
+/// Normalized autocorrelation of a series at a given lag (in samples).
+/// Result is in [-1, 1]; 0 for degenerate series.
+[[nodiscard]] double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Searches lags in [min_lag, max_lag] for the autocorrelation peak. Returns
+/// nullopt if no lag scores above `threshold`. Used to recover ACR burst
+/// periods from packets-per-bucket series.
+struct PeriodEstimate {
+    std::size_t lag_samples = 0;
+    double score = 0.0;
+};
+[[nodiscard]] std::optional<PeriodEstimate> dominant_period(std::span<const double> xs,
+                                                            std::size_t min_lag,
+                                                            std::size_t max_lag,
+                                                            double threshold);
+
+/// Empirical CDF over sample values: point i is (value_sorted[i], (i+1)/n).
+struct CdfPoint {
+    double x = 0.0;
+    double p = 0.0;
+};
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+}  // namespace tvacr

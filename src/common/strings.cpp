@@ -1,0 +1,80 @@
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace tvacr {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string to_lower(std::string_view text) {
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+    const std::string h = to_lower(haystack);
+    const std::string n = to_lower(needle);
+    return h.find(n) != std::string::npos;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+    return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string trim(std::string_view text) {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+std::string format_kb(double kilobytes) {
+    if (kilobytes == 0.0) return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", kilobytes);
+    return buf;
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+    std::string out(text);
+    if (out.size() < width) out.append(width - out.size(), ' ');
+    return out;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+    std::string out(text);
+    if (out.size() < width) out.insert(0, width - out.size(), ' ');
+    return out;
+}
+
+}  // namespace tvacr

@@ -1,0 +1,26 @@
+// Small string utilities used across the analysis and reporting layers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tvacr {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+[[nodiscard]] std::string to_lower(std::string_view text);
+[[nodiscard]] bool contains_ci(std::string_view haystack, std::string_view needle);
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+[[nodiscard]] std::string trim(std::string_view text);
+
+/// Fixed-width numeric rendering for report tables, e.g. format_kb(4759.71)
+/// -> "4759.7". A '-' is rendered for exact zero, matching the paper's tables.
+[[nodiscard]] std::string format_kb(double kilobytes);
+
+/// Left/right padding to a column width.
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+
+}  // namespace tvacr

@@ -1,0 +1,18 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace tvacr {
+
+std::string format_mmss(SimTime t) {
+    const std::int64_t total_ms = t.as_millis();
+    const std::int64_t minutes = total_ms / 60'000;
+    const std::int64_t seconds = (total_ms / 1000) % 60;
+    const std::int64_t millis = total_ms % 1000;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%02lld:%02lld.%03lld", static_cast<long long>(minutes),
+                  static_cast<long long>(seconds), static_cast<long long>(millis));
+    return buf;
+}
+
+}  // namespace tvacr

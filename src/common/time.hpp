@@ -1,0 +1,64 @@
+// Virtual time for the simulator: a strong microsecond tick type.
+//
+// The whole toolkit runs on simulated time so hour-long "experiments" finish
+// in milliseconds of wall-clock and every run is bit-identical.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tvacr {
+
+/// A duration/instant in simulated microseconds. Instants are measured from
+/// the start of a simulation run (t = 0 at Simulator construction).
+class SimTime {
+  public:
+    constexpr SimTime() = default;
+
+    [[nodiscard]] static constexpr SimTime micros(std::int64_t us) { return SimTime{us}; }
+    [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) { return SimTime{ms * 1000}; }
+    [[nodiscard]] static constexpr SimTime seconds(std::int64_t s) {
+        return SimTime{s * 1'000'000};
+    }
+    [[nodiscard]] static constexpr SimTime minutes(std::int64_t m) {
+        return SimTime{m * 60'000'000};
+    }
+    [[nodiscard]] static constexpr SimTime hours(std::int64_t h) {
+        return SimTime{h * 3'600'000'000LL};
+    }
+
+    [[nodiscard]] constexpr std::int64_t as_micros() const noexcept { return micros_; }
+    [[nodiscard]] constexpr std::int64_t as_millis() const noexcept { return micros_ / 1000; }
+    [[nodiscard]] constexpr double as_seconds() const noexcept {
+        return static_cast<double>(micros_) / 1e6;
+    }
+
+    constexpr auto operator<=>(const SimTime&) const = default;
+
+    constexpr SimTime& operator+=(SimTime other) noexcept {
+        micros_ += other.micros_;
+        return *this;
+    }
+    constexpr SimTime& operator-=(SimTime other) noexcept {
+        micros_ -= other.micros_;
+        return *this;
+    }
+    friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept { return a += b; }
+    friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept { return a -= b; }
+    friend constexpr SimTime operator*(SimTime a, std::int64_t k) noexcept {
+        return SimTime{a.micros_ * k};
+    }
+    friend constexpr std::int64_t operator/(SimTime a, SimTime b) noexcept {
+        return a.micros_ / b.micros_;
+    }
+
+  private:
+    explicit constexpr SimTime(std::int64_t us) : micros_(us) {}
+    std::int64_t micros_ = 0;
+};
+
+/// "mm:ss.mmm" rendering for reports and plots.
+[[nodiscard]] std::string format_mmss(SimTime t);
+
+}  // namespace tvacr

@@ -1,0 +1,50 @@
+// The end-to-end auditing pipeline — the paper's full methodology for one
+// TV: capture an opted-in run and an opted-out run, identify ACR endpoints
+// from the traffic (name heuristic + blocklist + cadence + opt-out
+// differential), geolocate them through the multi-engine workflow, and
+// report what the second party learned (matches, audience segments).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/acr_detect.hpp"
+#include "core/experiment.hpp"
+#include "geo/geolocator.hpp"
+
+namespace tvacr::core {
+
+struct AuditConfig {
+    tv::Brand brand = tv::Brand::kSamsung;
+    tv::Country country = tv::Country::kUk;
+    tv::Scenario scenario = tv::Scenario::kLinear;
+    SimTime duration = SimTime::hours(1);
+    std::uint64_t seed = 42;
+};
+
+struct DomainGeolocation {
+    std::string domain;
+    geo::GeolocationResult result;
+};
+
+struct AuditReport {
+    AuditConfig config;
+    std::vector<analysis::AcrFinding> findings;
+    std::vector<std::string> confirmed_acr_domains;
+    std::vector<std::string> true_acr_domains;  // ground truth for evaluation
+    std::vector<DomainGeolocation> geolocation;
+    double opted_in_acr_kb = 0.0;
+    double opted_out_acr_kb = 0.0;
+    std::uint64_t backend_matches = 0;
+    std::vector<std::string> audience_segments;
+
+    /// Human-readable report.
+    [[nodiscard]] std::string render() const;
+};
+
+class AuditPipeline {
+  public:
+    [[nodiscard]] static AuditReport run(const AuditConfig& config);
+};
+
+}  // namespace tvacr::core

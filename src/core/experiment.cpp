@@ -1,0 +1,68 @@
+#include "core/experiment.hpp"
+
+namespace tvacr::core {
+
+std::string ExperimentSpec::name() const {
+    return to_string(brand) + "/" + to_string(country) + "/" + to_string(scenario) + "/" +
+           to_string(phase);
+}
+
+analysis::CaptureAnalyzer ExperimentResult::analyze() const {
+    analysis::CaptureAnalyzer analyzer(device_ip);
+    analyzer.ingest_all(capture);
+    return analyzer;
+}
+
+TestbedConfig ExperimentRunner::testbed_config(const ExperimentSpec& spec) {
+    TestbedConfig config;
+    config.brand = spec.brand;
+    config.country = spec.country;
+    config.seed = derive_seed(spec.seed, splitmix64((static_cast<std::uint64_t>(spec.brand) << 8) ^
+                                                    (static_cast<std::uint64_t>(spec.country) << 4) ^
+                                                    (static_cast<std::uint64_t>(spec.scenario) << 2) ^
+                                                    static_cast<std::uint64_t>(spec.phase)));
+    config.logged_in = tv::is_logged_in(spec.phase);
+    // The rotating domain number varies between experiments, as observed.
+    config.domain_rotation = static_cast<int>(derive_seed(config.seed, 0x207) % 10);
+    return config;
+}
+
+ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
+    Testbed bed(testbed_config(spec));
+    return run_on(bed, spec);
+}
+
+ExperimentResult ExperimentRunner::run_on(Testbed& bed, const ExperimentSpec& spec) {
+    // Configure the TV for the phase and scenario before the power cycle
+    // (the paper's scripts set state, then run the capture workflow).
+    if (tv::is_logged_in(spec.phase)) {
+        bed.tv().login();
+    } else {
+        bed.tv().logout();
+    }
+    if (tv::is_opted_in(spec.phase)) {
+        bed.tv().opt_in_all();
+    } else {
+        bed.tv().opt_out_all();
+    }
+    bed.tv().set_scenario(spec.scenario);
+
+    // Capture -> power on -> experiment -> power off.
+    const SimTime power_on_at = SimTime::seconds(1);
+    const SimTime power_off_at = power_on_at + spec.duration;
+    bed.plug().schedule_cycle(power_on_at, power_off_at);
+    bed.simulator().run_until(power_off_at + SimTime::seconds(5));
+
+    ExperimentResult result;
+    result.spec = spec;
+    result.device_ip = bed.tv().station().ip();
+    result.batches_uploaded = bed.tv().acr().batches_uploaded();
+    result.captures_taken = bed.tv().acr().captures_taken();
+    result.backend_matches = bed.backend().batches_matched();
+    result.backend_batches = bed.backend().batches_received();
+    result.true_acr_domains = bed.tv().acr().domain_names();
+    result.capture = bed.take_capture();
+    return result;
+}
+
+}  // namespace tvacr::core

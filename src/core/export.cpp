@@ -1,0 +1,112 @@
+#include "core/export.hpp"
+
+#include "analysis/json.hpp"
+#include "core/paper.hpp"
+
+namespace tvacr::core {
+
+namespace {
+
+void write_trace_fields(analysis::JsonWriter& json, const ScenarioTrace& trace) {
+    json.key("brand").value(to_string(trace.spec.brand));
+    json.key("country").value(to_string(trace.spec.country));
+    json.key("scenario").value(tv::table_label(trace.spec.scenario));
+    json.key("phase").value(to_string(trace.spec.phase));
+    json.key("duration_s").value(trace.spec.duration.as_seconds());
+    json.key("total_acr_kb").value(trace.total_acr_kb);
+    json.key("domains").begin_object();
+    for (const auto& [domain, kb] : trace.kb_per_domain) {
+        json.key(domain).value(kb);
+    }
+    json.end_object();
+}
+
+}  // namespace
+
+std::string trace_to_json(const ScenarioTrace& trace) {
+    analysis::JsonWriter json;
+    json.begin_object();
+    write_trace_fields(json, trace);
+    json.end_object();
+    return std::move(json).take();
+}
+
+std::string sweep_to_json(const std::vector<ScenarioTrace>& traces, tv::Country country,
+                          tv::Phase phase) {
+    analysis::JsonWriter json;
+    json.begin_object();
+    json.key("country").value(to_string(country));
+    json.key("phase").value(to_string(phase));
+    json.key("experiments").begin_array();
+    for (const auto& trace : traces) {
+        json.begin_object();
+        write_trace_fields(json, trace);
+        // Attach the paper's published cells for this trace's domains.
+        json.key("paper_kb").begin_object();
+        for (const auto& [domain, kb] : trace.kb_per_domain) {
+            const auto paper = paper_kb(country, phase, domain, trace.spec.scenario);
+            if (paper) {
+                json.key(domain).value(*paper);
+            } else {
+                json.key(domain).null();
+            }
+        }
+        json.end_object();
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return std::move(json).take();
+}
+
+std::string audit_to_json(const AuditReport& report) {
+    analysis::JsonWriter json;
+    json.begin_object();
+    json.key("brand").value(to_string(report.config.brand));
+    json.key("country").value(to_string(report.config.country));
+    json.key("scenario").value(to_string(report.config.scenario));
+    json.key("opted_in_acr_kb").value(report.opted_in_acr_kb);
+    json.key("opted_out_acr_kb").value(report.opted_out_acr_kb);
+    json.key("backend_matches").value(report.backend_matches);
+
+    json.key("findings").begin_array();
+    for (const auto& finding : report.findings) {
+        json.begin_object();
+        json.key("domain").value(finding.domain);
+        json.key("name_contains_acr").value(finding.name_contains_acr);
+        json.key("blocklisted").value(finding.blocklisted);
+        json.key("regular_contact").value(finding.regular_contact);
+        json.key("period_s").value(finding.period_seconds);
+        json.key("cadence_cv").value(finding.cadence.cv);
+        if (finding.optout_differential) {
+            json.key("optout_differential").value(*finding.optout_differential);
+        } else {
+            json.key("optout_differential").null();
+        }
+        json.key("verdict").value(finding.verdict);
+        json.end_object();
+    }
+    json.end_array();
+
+    json.key("geolocation").begin_array();
+    for (const auto& entry : report.geolocation) {
+        json.begin_object();
+        json.key("domain").value(entry.domain);
+        json.key("address").value(entry.result.address.to_string());
+        json.key("city").value(entry.result.final_city != nullptr
+                                   ? std::string_view(entry.result.final_city->name)
+                                   : std::string_view("unknown"));
+        json.key("method").value(entry.result.method);
+        json.key("databases_agree").value(entry.result.databases_agree);
+        json.end_object();
+    }
+    json.end_array();
+
+    json.key("audience_segments").begin_array();
+    for (const auto& segment : report.audience_segments) json.value(segment);
+    json.end_array();
+    json.end_object();
+    return std::move(json).take();
+}
+
+}  // namespace tvacr::core

@@ -1,0 +1,24 @@
+// Machine-readable exports of experiment and audit results (JSON), for
+// downstream plotting and regression tracking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/campaign.hpp"
+
+namespace tvacr::core {
+
+/// One experiment's per-domain ACR summary as a JSON object.
+[[nodiscard]] std::string trace_to_json(const ScenarioTrace& trace);
+
+/// A whole sweep (one table's worth of experiments) as a JSON array, with
+/// paper reference values attached where published.
+[[nodiscard]] std::string sweep_to_json(const std::vector<ScenarioTrace>& traces,
+                                        tv::Country country, tv::Phase phase);
+
+/// An audit report (findings, geolocation, segments) as JSON.
+[[nodiscard]] std::string audit_to_json(const AuditReport& report);
+
+}  // namespace tvacr::core

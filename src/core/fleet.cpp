@@ -1,0 +1,122 @@
+#include "core/fleet.hpp"
+
+#include "tv/background.hpp"
+#include "tv/platform.hpp"
+
+namespace tvacr::core {
+
+FleetTestbed::FleetTestbed(const FleetSpec& spec) : spec_(spec) {
+    vantage_ = geo::find_city(spec.country == tv::Country::kUk ? "London" : "San Jose");
+
+    cloud_ = std::make_unique<sim::Cloud>(simulator_, derive_seed(spec.seed, 0xF1EE7));
+    cloud_->enable_dns(net::Ipv4Address(9, 9, 9, 9));
+    cloud_->add_route(cloud_->dns_ip(), sim::LatencyModel{SimTime::millis(8), SimTime::millis(2)});
+
+    for (const auto& info : fp::builtin_catalog(derive_seed(spec.seed, 0x11B))) {
+        library_.add(info);
+    }
+
+    // Register every domain either brand needs: the internet is shared.
+    const bool uk = spec.country == tv::Country::kUk;
+    const geo::City& fingerprint_city_lg = *geo::find_city(uk ? "Amsterdam" : "San Jose");
+    for (const tv::Brand brand : {tv::Brand::kLg, tv::Brand::kSamsung}) {
+        const auto profile = tv::platform_profile(brand, spec.country);
+        for (const auto& domain : profile.acr_domains) {
+            if (domain.rotates) {
+                for (int rotation = 0; rotation < 10; ++rotation) {
+                    register_server(tv::rotated_name(domain.name, rotation),
+                                    fingerprint_city_lg);
+                }
+            } else if (domain.name == "log-config.samsungacr.com") {
+                register_server(domain.name, *geo::find_city("New York"));
+            } else if (domain.name == "acr0.samsungcloudsolution.com") {
+                register_server(domain.name, *geo::find_city("Amsterdam"));
+            } else {
+                register_server(domain.name, *geo::find_city(uk ? "London" : "Ashburn"));
+            }
+        }
+        for (const auto& domain : profile.other_domains) {
+            register_server(domain, *geo::find_city(uk ? "Dublin" : "Seattle"));
+        }
+    }
+    register_server(tv::kOttCdnDomain, *geo::find_city(uk ? "London" : "San Jose"));
+    register_server(tv::kCastHelperDomain, *geo::find_city(uk ? "Dublin" : "Seattle"));
+
+    build_unit(lg_, tv::Brand::kLg, 0);
+    build_unit(samsung_, tv::Brand::kSamsung, 1);
+}
+
+void FleetTestbed::register_server(const std::string& domain, const geo::City& city) {
+    auto name = dns::DomainName::parse(domain);
+    if (name.ok() && cloud_->zone().resolve_a(name.value())) return;  // already registered
+    const std::uint32_t block = next_server_block_++;
+    const net::Ipv4Address address((23U << 24) | ((block / 200) << 16) |
+                                   ((block % 200 + 1) << 8) | 10U);
+    cloud_->zone().add_a(domain, address);
+    cloud_->zone().add_ptr(address, city.iata + "-edge-1." + domain.substr(domain.find('.') + 1));
+    truth_.place(address, city, city.iata + "-edge-1." + domain);
+    const double rtt_ms = geo::min_rtt_ms(*vantage_, city);
+    cloud_->add_route(address, sim::LatencyModel{SimTime::micros(static_cast<std::int64_t>(
+                                                     rtt_ms * 500.0) + 3000),
+                                                 SimTime::millis(2)});
+}
+
+void FleetTestbed::build_unit(Unit& unit, tv::Brand brand, int index) {
+    unit.access_point = std::make_unique<sim::AccessPoint>(
+        simulator_, net::MacAddress::local(0xA900 + index),
+        net::Ipv4Address(192, 168, static_cast<std::uint8_t>(4 + index), 1),
+        sim::LatencyModel{SimTime::millis(2), SimTime::micros(400)},
+        derive_seed(spec_.seed, 0xA9 + static_cast<std::uint64_t>(index)));
+    unit.access_point->set_cloud(*cloud_);
+    unit.access_point->set_tap(
+        [&unit](const net::Packet& packet) { unit.capture.push_back(packet); });
+
+    unit.backend = std::make_unique<tv::AcrBackend>(brand, spec_.country, library_);
+
+    tv::SmartTv::Config config;
+    config.brand = brand;
+    config.country = spec_.country;
+    config.seed = derive_seed(spec_.seed, 0x7F00 + static_cast<std::uint64_t>(index));
+    config.mac = net::MacAddress::local(0x7100 + index);
+    config.ip = net::Ipv4Address(192, 168, static_cast<std::uint8_t>(4 + index), 23);
+    config.logged_in = tv::is_logged_in(spec_.phase);
+    config.domain_rotation = static_cast<int>(derive_seed(config.seed, 0x207) % 10);
+    unit.tv = std::make_unique<tv::SmartTv>(simulator_, *unit.access_point, *cloud_,
+                                            *unit.backend, library_, config);
+    unit.plug = std::make_unique<sim::SmartPlug>(simulator_, *unit.tv);
+}
+
+FleetTestbed::Result FleetTestbed::run() {
+    for (Unit* unit : {&lg_, &samsung_}) {
+        if (tv::is_opted_in(spec_.phase)) {
+            unit->tv->opt_in_all();
+        } else {
+            unit->tv->opt_out_all();
+        }
+        unit->tv->set_scenario(spec_.scenario);
+        unit->plug->schedule_cycle(SimTime::seconds(1), SimTime::seconds(1) + spec_.duration);
+    }
+    simulator_.run_until(SimTime::seconds(6) + spec_.duration);
+
+    const auto collect = [&](Unit& unit, tv::Brand brand) {
+        ExperimentResult result;
+        result.spec.brand = brand;
+        result.spec.country = spec_.country;
+        result.spec.scenario = spec_.scenario;
+        result.spec.phase = spec_.phase;
+        result.spec.duration = spec_.duration;
+        result.spec.seed = spec_.seed;
+        result.device_ip = unit.tv->station().ip();
+        result.batches_uploaded = unit.tv->acr().batches_uploaded();
+        result.captures_taken = unit.tv->acr().captures_taken();
+        result.backend_matches = unit.backend->batches_matched();
+        result.backend_batches = unit.backend->batches_received();
+        result.true_acr_domains = unit.tv->acr().domain_names();
+        result.capture = std::move(unit.capture);
+        return result;
+    };
+    Result result{collect(lg_, tv::Brand::kLg), collect(samsung_, tv::Brand::kSamsung)};
+    return result;
+}
+
+}  // namespace tvacr::core

@@ -1,0 +1,123 @@
+#include "core/mitm_audit.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+#include "fp/batch.hpp"
+
+namespace tvacr::core {
+
+std::string to_string(tv::AcrMessageType type) {
+    switch (type) {
+        case tv::AcrMessageType::kFingerprintBatch: return "fingerprint-batch";
+        case tv::AcrMessageType::kHeartbeat: return "heartbeat";
+        case tv::AcrMessageType::kProbe: return "probe";
+        case tv::AcrMessageType::kPeakReport: return "peak-report";
+        case tv::AcrMessageType::kKeepAlive: return "keep-alive";
+        case tv::AcrMessageType::kConfigFetch: return "config-fetch";
+        case tv::AcrMessageType::kTelemetry: return "telemetry";
+    }
+    return "?";
+}
+
+MitmReport MitmAudit::run(const ExperimentSpec& spec) {
+    MitmReport report;
+    report.spec = spec;
+
+    auto config = ExperimentRunner::testbed_config(spec);
+    config.mitm = true;
+    Testbed bed(config);
+    const ExperimentResult result = ExperimentRunner::run_on(bed, spec);
+
+    // Address -> domain map for the ACR endpoints.
+    std::unordered_map<net::Ipv4Address, std::string> acr_addresses;
+    for (const auto& domain : result.true_acr_domains) {
+        if (const auto address = bed.address_of(domain)) acr_addresses[*address] = domain;
+    }
+    std::map<std::string, MitmDomainFinding> findings;
+
+    for (const auto& record : bed.mitm_records()) {
+        const auto it = acr_addresses.find(record.server.address);
+        if (it == acr_addresses.end()) continue;  // not an ACR channel
+        ++report.records_total;
+        auto& finding = findings[it->second];
+        finding.domain = it->second;
+        if (record.device_to_server) {
+            finding.plaintext_bytes_up += record.plaintext.size();
+            auto request = tv::AcrRequest::deserialize(record.plaintext);
+            if (!request) {
+                ++report.records_unparsed;
+                continue;
+            }
+            finding.message_counts[request.value().type] += 1;
+            if (request.value().type == tv::AcrMessageType::kFingerprintBatch) {
+                auto batch = fp::FingerprintBatch::deserialize(request.value().body);
+                if (batch.ok()) {
+                    finding.device_ids.insert(batch.value().device_id);
+                    finding.fingerprint_records += batch.value().records.size();
+                }
+            }
+        } else {
+            finding.plaintext_bytes_down += record.plaintext.size();
+            auto response = tv::AcrResponse::deserialize(record.plaintext);
+            if (response.ok() && response.value().recognized) {
+                ++finding.recognized_responses;
+                if (const auto* info = bed.library().find(response.value().content_id)) {
+                    if (finding.recognized_titles.empty() ||
+                        finding.recognized_titles.back() != info->title) {
+                        finding.recognized_titles.push_back(info->title);
+                    }
+                }
+            }
+        }
+    }
+    for (auto& [domain, finding] : findings) report.findings.push_back(std::move(finding));
+    return report;
+}
+
+std::string MitmReport::render() const {
+    std::ostringstream out;
+    out << "=== MITM payload audit: " << spec.name() << " ===\n";
+    out << "Intercepted " << records_total << " plaintext records on ACR channels ("
+        << records_unparsed << " unparsed)\n\n";
+    for (const auto& finding : findings) {
+        out << finding.domain << "\n";
+        out << "  plaintext bytes: " << finding.plaintext_bytes_up << " up / "
+            << finding.plaintext_bytes_down << " down\n";
+        out << "  messages:";
+        for (const auto& [type, count] : finding.message_counts) {
+            out << " " << to_string(type) << "=" << count;
+        }
+        out << "\n";
+        if (!finding.device_ids.empty()) {
+            out << "  device identifiers in payloads:";
+            for (const auto id : finding.device_ids) {
+                char buf[24];
+                std::snprintf(buf, sizeof(buf), " %016llx",
+                              static_cast<unsigned long long>(id));
+                out << buf;
+            }
+            out << "  <-- uploads are linkable\n";
+        }
+        if (finding.fingerprint_records > 0) {
+            out << "  fingerprint records uploaded: " << finding.fingerprint_records << "\n";
+        }
+        if (finding.recognized_responses > 0) {
+            out << "  server confirmed recognition " << finding.recognized_responses
+                << " times; content:";
+            std::size_t shown = 0;
+            for (const auto& title : finding.recognized_titles) {
+                if (++shown > 6) {
+                    out << " ...";
+                    break;
+                }
+                out << " [" << title << "]";
+            }
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+}  // namespace tvacr::core

@@ -1,0 +1,51 @@
+// MITM payload audit — the paper's §6 future work, implemented.
+//
+// With the lab interception proxy on the AP (the TV provisioned with a
+// researcher CA), ACR traffic is no longer a black box: this pipeline
+// classifies every intercepted plaintext record on the ACR channels,
+// tallies message types, extracts the identifiers that ride along with
+// "anonymous" content hashes (the persistent device ID in every batch),
+// and reconstructs what content the batches encode.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "tv/acr_backend.hpp"
+
+namespace tvacr::core {
+
+struct MitmDomainFinding {
+    std::string domain;
+    std::map<tv::AcrMessageType, std::uint64_t> message_counts;
+    std::uint64_t plaintext_bytes_up = 0;
+    std::uint64_t plaintext_bytes_down = 0;
+    /// Identifiers observed inside payloads: the per-device ID proves the
+    /// uploads are linkable across time even though content is hashed.
+    std::set<std::uint64_t> device_ids;
+    std::uint64_t fingerprint_records = 0;
+    std::uint64_t recognized_responses = 0;
+    /// Titles of content the server's responses acknowledged recognizing.
+    std::vector<std::string> recognized_titles;
+};
+
+struct MitmReport {
+    ExperimentSpec spec;
+    std::vector<MitmDomainFinding> findings;
+    std::uint64_t records_total = 0;
+    std::uint64_t records_unparsed = 0;
+
+    [[nodiscard]] std::string render() const;
+};
+
+class MitmAudit {
+  public:
+    [[nodiscard]] static MitmReport run(const ExperimentSpec& spec);
+};
+
+[[nodiscard]] std::string to_string(tv::AcrMessageType type);
+
+}  // namespace tvacr::core

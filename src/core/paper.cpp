@@ -1,0 +1,77 @@
+#include "core/paper.hpp"
+
+#include <cstring>
+
+namespace tvacr::core {
+
+namespace {
+
+// Table 2: UK, LIn-OIn.
+constexpr PaperRow kUkLInOIn[] = {
+    {"eu-acrX.alphonso.tv", {264.7, 4759.7, 262.8, 264.3, 4296.5, 266.2}},
+    {"acr-eu-prd.samsungcloud.tv", {-1, 440.9, 8.5, 8.6, 204.8, 30.3}},
+    {"acr0.samsungcloudsolution.com", {-1, -1, 11.1, 11.3, 11.0, 11.7}},
+    {"log-config.samsungacr.com", {9.5, 10.8, 9.2, 8.9, 9.3, 10.0}},
+    {"log-ingestion-eu.samsungacr.com", {176.9, 298.4, 125.4, 161.6, 162.3, -1}},
+};
+
+// Table 3: UK, LOut-OIn.
+constexpr PaperRow kUkLOutOIn[] = {
+    {"eu-acrX.alphonso.tv", {258.0, 4801.9, 255.5, 250.6, 4229.5, 272.8}},
+    {"acr-eu-prd.samsungcloud.tv", {8.6, 463.9, 8.6, 8.5, 184.0, 16.1}},
+    {"acr0.samsungcloudsolution.com", {11.1, 11.1, 11.0, 11.1, 11.0, 24.3}},
+    {"log-config.samsungacr.com", {9.2, 9.1, -1, 9.1, 9.2, 10.4}},
+    {"log-ingestion-eu.samsungacr.com", {159.9, 232.3, -1, 169.8, 170.6, 195.3}},
+};
+
+// Table 4: US, LIn-OIn.
+constexpr PaperRow kUsLInOIn[] = {
+    {"tkacrX.alphonso.tv", {215.3, 4583.2, 4948.3, 214.9, 4125.0, 240.4}},
+    {"acr-us-prd.samsungcloud.tv", {-1, 184.4, 176.6, -1, 148.5, -1}},
+    {"log-config.samsungacr.com", {10.5, 10.5, -1, 9.7, 19.7, 10.1}},
+    {"log-ingestion.samsungacr.com", {143.5, 253.2, 237.4, 156.1, 224.8, 172.1}},
+};
+
+// Table 5: US, LOut-OIn.
+constexpr PaperRow kUsLOutOIn[] = {
+    {"tkacrX.alphonso.tv", {236.3, 4612.4, 4832.5, 191.3, 4633.5, 222.0}},
+    {"acr-us-prd.samsungcloud.tv", {-1, 153.5, 166.1, -1, 160.2, -1}},
+    {"log-config.samsungacr.com", {9.6, 9.6, 9.6, 10.4, 10.4, 9.6}},
+    {"log-ingestion.samsungacr.com", {112.7, 216.3, 247.5, 187.5, 146.9, 157.9}},
+};
+
+}  // namespace
+
+std::span<const PaperRow> paper_table(tv::Country country, tv::Phase phase) {
+    if (country == tv::Country::kUk && phase == tv::Phase::kLInOIn) return kUkLInOIn;
+    if (country == tv::Country::kUk && phase == tv::Phase::kLOutOIn) return kUkLOutOIn;
+    if (country == tv::Country::kUs && phase == tv::Phase::kLInOIn) return kUsLInOIn;
+    if (country == tv::Country::kUs && phase == tv::Phase::kLOutOIn) return kUsLOutOIn;
+    return {};
+}
+
+int paper_column(tv::Scenario scenario) {
+    switch (scenario) {
+        case tv::Scenario::kIdle: return 0;
+        case tv::Scenario::kLinear: return 1;
+        case tv::Scenario::kFast: return 2;
+        case tv::Scenario::kOtt: return 3;
+        case tv::Scenario::kHdmi: return 4;
+        case tv::Scenario::kScreenCast: return 5;
+    }
+    return 0;
+}
+
+std::optional<double> paper_kb(tv::Country country, tv::Phase phase, const std::string& domain,
+                               tv::Scenario scenario) {
+    for (const auto& row : paper_table(country, phase)) {
+        if (domain == row.domain) {
+            const double kb = row.kb[paper_column(scenario)];
+            if (kb < 0) return std::nullopt;
+            return kb;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace tvacr::core

@@ -1,0 +1,34 @@
+// The paper's published measurements (Tables 2-5), embedded for
+// paper-vs-measured comparison in the benchmark harnesses and tests.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "tv/privacy.hpp"
+#include "tv/scenario.hpp"
+
+namespace tvacr::core {
+
+/// One table row: KB per scenario in paper column order
+/// (Idle, Antenna, FAST, OTT, HDMI, Screen Cast). A negative value encodes
+/// the paper's '-' (no traffic observed).
+struct PaperRow {
+    const char* domain;
+    double kb[6];
+};
+
+/// Rows of the paper's table for (country, phase). Only the opted-in phases
+/// were published as tables (opted-out phases measured zero everywhere).
+[[nodiscard]] std::span<const PaperRow> paper_table(tv::Country country, tv::Phase phase);
+
+/// KB from the paper for (country, phase, domain, scenario); nullopt when
+/// the cell is '-' or the row/table does not exist.
+[[nodiscard]] std::optional<double> paper_kb(tv::Country country, tv::Phase phase,
+                                             const std::string& domain, tv::Scenario scenario);
+
+/// Index of a scenario in the tables' column order.
+[[nodiscard]] int paper_column(tv::Scenario scenario);
+
+}  // namespace tvacr::core

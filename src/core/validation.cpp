@@ -1,0 +1,110 @@
+#include "core/validation.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "tv/calibration.hpp"
+
+namespace tvacr::core {
+
+bool ValidationReport::all_passed() const {
+    for (const auto& check : checks) {
+        if (!check.passed) return false;
+    }
+    return true;
+}
+
+std::string ValidationReport::render() const {
+    std::ostringstream out;
+    for (const auto& check : checks) {
+        out << (check.passed ? "[ ok ] " : "[FAIL] ") << check.name;
+        if (!check.detail.empty()) out << " — " << check.detail;
+        out << "\n";
+    }
+    return out.str();
+}
+
+ValidationReport validate_experiment(const ExperimentResult& result) {
+    ValidationReport report;
+    const auto add = [&](std::string name, bool passed, std::string detail = {}) {
+        report.checks.push_back(ValidationCheck{std::move(name), passed, std::move(detail)});
+    };
+
+    // -- capture basics ------------------------------------------------------
+    add("capture non-empty", !result.capture.empty(),
+        std::to_string(result.capture.size()) + " frames");
+
+    bool ordered = true;
+    int unparseable = 0;
+    for (std::size_t i = 0; i < result.capture.size(); ++i) {
+        if (i > 0 && result.capture[i].timestamp < result.capture[i - 1].timestamp) {
+            ordered = false;
+        }
+        if (!net::parse_packet(result.capture[i]).ok()) ++unparseable;
+    }
+    add("capture time-ordered", ordered);
+    add("all frames parse (checksums valid)", unparseable == 0,
+        std::to_string(unparseable) + " unparseable");
+
+    if (!result.capture.empty()) {
+        const SimTime span =
+            result.capture.back().timestamp - result.capture.front().timestamp;
+        // Quiet scenarios can go silent before power-off (idle opted-out TVs
+        // ping rarely); flag only captures cut off in the first half.
+        add("capture spans the experiment",
+            span.as_micros() * 2 >= result.spec.duration.as_micros(),
+            std::to_string(span.as_seconds()) + " s captured");
+    }
+
+    // -- DNS burst -----------------------------------------------------------
+    const auto analyzer = result.analyze();
+    const auto names = analyzer.dns().queried_names();
+    bool burst_early = !names.empty();
+    std::set<std::string> queried;
+    for (const auto& entry : names) {
+        queried.insert(entry.name);
+        // Power-on is at t=1 s; "within the first few seconds" per §3.2.
+        if (entry.first_seen > SimTime::seconds(30)) burst_early = false;
+    }
+    add("boot DNS burst in first seconds", burst_early,
+        std::to_string(names.size()) + " names");
+
+    const bool opted_in = tv::is_opted_in(result.spec.phase);
+    if (opted_in) {
+        bool all_acr_resolved = true;
+        for (const auto& domain : result.true_acr_domains) {
+            if (!queried.contains(domain)) all_acr_resolved = false;
+        }
+        add("ACR domains resolved at boot", all_acr_resolved);
+    } else {
+        bool none_resolved = true;
+        for (const auto& domain : result.true_acr_domains) {
+            if (queried.contains(domain)) none_resolved = false;
+        }
+        add("no ACR domain resolved after opt-out", none_resolved);
+    }
+
+    // -- scenario/phase expectations ----------------------------------------
+    double acr_kb = 0.0;
+    for (const auto& domain : result.true_acr_domains) {
+        acr_kb += analyzer.kilobytes_for(domain);
+    }
+    if (opted_in) {
+        const auto mode = tv::acr_mode_for(result.spec.brand, result.spec.country,
+                                           result.spec.scenario);
+        if (mode == tv::AcrMode::kActive) {
+            add("fingerprint uploads occurred", result.batches_uploaded > 0,
+                std::to_string(result.batches_uploaded) + " uploads");
+        }
+        if (mode != tv::AcrMode::kOff) {
+            add("ACR traffic present while opted in", acr_kb > 0.0);
+        }
+    } else {
+        add("zero ACR traffic after opt-out", acr_kb == 0.0,
+            std::to_string(acr_kb) + " KB");
+        add("zero fingerprint uploads after opt-out", result.batches_uploaded == 0);
+    }
+    return report;
+}
+
+}  // namespace tvacr::core

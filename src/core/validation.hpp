@@ -1,0 +1,38 @@
+// Validation scripts (paper §3.1): the automation "verifying the correct
+// execution of the experiments". Formalized here as pre/post-condition
+// checks over a finished experiment — run by tests, benches, and callers
+// that want machine-checkable evidence a run was sound before trusting its
+// numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace tvacr::core {
+
+struct ValidationCheck {
+    std::string name;
+    bool passed = false;
+    std::string detail;
+};
+
+struct ValidationReport {
+    std::vector<ValidationCheck> checks;
+
+    [[nodiscard]] bool all_passed() const;
+    [[nodiscard]] std::string render() const;
+};
+
+/// Validates a completed experiment:
+///  - the capture is non-empty and strictly time-ordered;
+///  - every frame parses (valid checksums end to end);
+///  - the boot DNS burst happened within the first seconds and covered the
+///    platform's domains;
+///  - scenario/phase expectations hold: opted-in Active scenarios uploaded
+///    fingerprints, opted-out runs show zero ACR traffic;
+///  - capture duration brackets the configured experiment duration.
+[[nodiscard]] ValidationReport validate_experiment(const ExperimentResult& result);
+
+}  // namespace tvacr::core

@@ -1,0 +1,224 @@
+#include "dns/message.hpp"
+
+namespace tvacr::dns {
+
+std::string to_string(RecordType type) {
+    switch (type) {
+        case RecordType::kA: return "A";
+        case RecordType::kNs: return "NS";
+        case RecordType::kCname: return "CNAME";
+        case RecordType::kPtr: return "PTR";
+        case RecordType::kTxt: return "TXT";
+    }
+    return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));
+}
+
+ResourceRecord ResourceRecord::a(DomainName name, net::Ipv4Address address, std::uint32_t ttl) {
+    return ResourceRecord{std::move(name), RecordType::kA, 1, ttl, address};
+}
+
+ResourceRecord ResourceRecord::cname(DomainName name, DomainName target, std::uint32_t ttl) {
+    return ResourceRecord{std::move(name), RecordType::kCname, 1, ttl, std::move(target)};
+}
+
+ResourceRecord ResourceRecord::ptr(DomainName name, DomainName target, std::uint32_t ttl) {
+    return ResourceRecord{std::move(name), RecordType::kPtr, 1, ttl, std::move(target)};
+}
+
+ResourceRecord ResourceRecord::txt(DomainName name, std::string text, std::uint32_t ttl) {
+    return ResourceRecord{std::move(name), RecordType::kTxt, 1, ttl, std::move(text)};
+}
+
+namespace {
+
+void encode_record(const ResourceRecord& record, ByteWriter& out, CompressionMap& offsets) {
+    encode_name(record.name, out, offsets);
+    out.u16(static_cast<std::uint16_t>(record.type));
+    out.u16(record.record_class);
+    out.u32(record.ttl);
+    const std::size_t rdlength_offset = out.size();
+    out.u16(0);  // RDLENGTH backpatched below
+    const std::size_t rdata_start = out.size();
+
+    switch (record.type) {
+        case RecordType::kA:
+            out.u32(std::get<net::Ipv4Address>(record.rdata).value());
+            break;
+        case RecordType::kNs:
+        case RecordType::kCname:
+        case RecordType::kPtr:
+            encode_name(std::get<DomainName>(record.rdata), out, offsets);
+            break;
+        case RecordType::kTxt: {
+            const auto& text = std::get<std::string>(record.rdata);
+            // TXT RDATA is a sequence of <character-string>s; we emit one.
+            out.u8(static_cast<std::uint8_t>(text.size()));
+            out.raw(std::string_view(text).substr(0, 255));
+            break;
+        }
+    }
+    out.patch_u16(rdlength_offset, static_cast<std::uint16_t>(out.size() - rdata_start));
+}
+
+Result<ResourceRecord> decode_record(ByteReader& in) {
+    ResourceRecord record;
+    auto name = decode_name(in);
+    if (!name) return name.error();
+    record.name = std::move(name).value();
+
+    auto type = in.u16();
+    if (!type) return type.error();
+    record.type = static_cast<RecordType>(type.value());
+    auto klass = in.u16();
+    if (!klass) return klass.error();
+    record.record_class = klass.value();
+    auto ttl = in.u32();
+    if (!ttl) return ttl.error();
+    record.ttl = ttl.value();
+    auto rdlength = in.u16();
+    if (!rdlength) return rdlength.error();
+    const std::size_t rdata_end = in.position() + rdlength.value();
+    if (in.remaining() < rdlength.value()) return make_error("DnsMessage: truncated RDATA");
+
+    switch (record.type) {
+        case RecordType::kA: {
+            if (rdlength.value() != 4) return make_error("DnsMessage: A RDATA must be 4 bytes");
+            auto address = in.u32();
+            if (!address) return address.error();
+            record.rdata = net::Ipv4Address{address.value()};
+            break;
+        }
+        case RecordType::kNs:
+        case RecordType::kCname:
+        case RecordType::kPtr: {
+            auto target = decode_name(in);
+            if (!target) return target.error();
+            record.rdata = std::move(target).value();
+            break;
+        }
+        case RecordType::kTxt: {
+            auto len = in.u8();
+            if (!len) return len.error();
+            auto text = in.raw(len.value());
+            if (!text) return text.error();
+            record.rdata = std::string(text.value().begin(), text.value().end());
+            break;
+        }
+        default:
+            record.rdata = std::string();
+            break;
+    }
+    // Normalize position to the declared RDATA end (tolerates trailing
+    // RDATA content for types we partially understand, e.g. multi-string TXT).
+    if (in.position() > rdata_end) return make_error("DnsMessage: RDATA overrun");
+    if (auto s = in.seek(rdata_end); !s) return s.error();
+    return record;
+}
+
+}  // namespace
+
+Bytes DnsMessage::encode() const {
+    ByteWriter out(128);
+    CompressionMap offsets;
+
+    out.u16(id);
+    std::uint16_t flags = 0;
+    if (is_response) flags |= 0x8000;
+    flags |= static_cast<std::uint16_t>((opcode & 0x0F) << 11);
+    if (authoritative) flags |= 0x0400;
+    if (truncated) flags |= 0x0200;
+    if (recursion_desired) flags |= 0x0100;
+    if (recursion_available) flags |= 0x0080;
+    flags |= static_cast<std::uint16_t>(rcode);
+    out.u16(flags);
+    out.u16(static_cast<std::uint16_t>(questions.size()));
+    out.u16(static_cast<std::uint16_t>(answers.size()));
+    out.u16(static_cast<std::uint16_t>(authorities.size()));
+    out.u16(static_cast<std::uint16_t>(additionals.size()));
+
+    for (const auto& question : questions) {
+        encode_name(question.name, out, offsets);
+        out.u16(static_cast<std::uint16_t>(question.type));
+        out.u16(question.record_class);
+    }
+    for (const auto& record : answers) encode_record(record, out, offsets);
+    for (const auto& record : authorities) encode_record(record, out, offsets);
+    for (const auto& record : additionals) encode_record(record, out, offsets);
+    return std::move(out).take();
+}
+
+Result<DnsMessage> DnsMessage::decode(BytesView wire) {
+    ByteReader in(wire);
+    DnsMessage message;
+
+    auto id = in.u16();
+    if (!id) return id.error();
+    message.id = id.value();
+    auto flags = in.u16();
+    if (!flags) return flags.error();
+    message.is_response = (flags.value() & 0x8000) != 0;
+    message.opcode = static_cast<std::uint8_t>((flags.value() >> 11) & 0x0F);
+    message.authoritative = (flags.value() & 0x0400) != 0;
+    message.truncated = (flags.value() & 0x0200) != 0;
+    message.recursion_desired = (flags.value() & 0x0100) != 0;
+    message.recursion_available = (flags.value() & 0x0080) != 0;
+    message.rcode = static_cast<ResponseCode>(flags.value() & 0x0F);
+
+    auto qdcount = in.u16();
+    auto ancount = in.u16();
+    auto nscount = in.u16();
+    auto arcount = in.u16();
+    if (!qdcount || !ancount || !nscount || !arcount) {
+        return make_error("DnsMessage: truncated header");
+    }
+
+    for (std::uint16_t i = 0; i < qdcount.value(); ++i) {
+        Question question;
+        auto name = decode_name(in);
+        if (!name) return name.error();
+        question.name = std::move(name).value();
+        auto type = in.u16();
+        if (!type) return type.error();
+        question.type = static_cast<RecordType>(type.value());
+        auto klass = in.u16();
+        if (!klass) return klass.error();
+        question.record_class = klass.value();
+        message.questions.push_back(std::move(question));
+    }
+    const auto decode_section = [&](std::uint16_t count,
+                                    std::vector<ResourceRecord>& section) -> Status {
+        for (std::uint16_t i = 0; i < count; ++i) {
+            auto record = decode_record(in);
+            if (!record) return record.error();
+            section.push_back(std::move(record).value());
+        }
+        return Status::success();
+    };
+    if (auto s = decode_section(ancount.value(), message.answers); !s) return s.error();
+    if (auto s = decode_section(nscount.value(), message.authorities); !s) return s.error();
+    if (auto s = decode_section(arcount.value(), message.additionals); !s) return s.error();
+    return message;
+}
+
+DnsMessage make_query(std::uint16_t id, const DomainName& name, RecordType type) {
+    DnsMessage query;
+    query.id = id;
+    query.recursion_desired = true;
+    query.questions.push_back(Question{name, type, 1});
+    return query;
+}
+
+DnsMessage make_response(const DnsMessage& query, std::vector<ResourceRecord> answers,
+                         ResponseCode rcode) {
+    DnsMessage response;
+    response.id = query.id;
+    response.is_response = true;
+    response.recursion_desired = query.recursion_desired;
+    response.recursion_available = true;
+    response.rcode = rcode;
+    response.questions = query.questions;
+    response.answers = std::move(answers);
+    return response;
+}
+
+}  // namespace tvacr::dns

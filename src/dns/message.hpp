@@ -1,0 +1,92 @@
+// DNS messages (RFC 1035 §4): header, question and resource-record sections,
+// with full wire encode/decode. The analysis layer decodes these from captured
+// UDP payloads to recover the IP→domain mapping the paper's methodology
+// depends on ("the majority of DNS requests are sent within the first few
+// seconds after device activation").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.hpp"
+
+namespace tvacr::dns {
+
+enum class RecordType : std::uint16_t {
+    kA = 1,
+    kNs = 2,
+    kCname = 5,
+    kPtr = 12,
+    kTxt = 16,
+};
+
+enum class ResponseCode : std::uint8_t {
+    kNoError = 0,
+    kFormErr = 1,
+    kServFail = 2,
+    kNxDomain = 3,
+};
+
+[[nodiscard]] std::string to_string(RecordType type);
+
+struct Question {
+    DomainName name;
+    RecordType type = RecordType::kA;
+    std::uint16_t record_class = 1;  // IN
+
+    friend bool operator==(const Question&, const Question&) = default;
+};
+
+/// Typed RDATA: A carries an address; CNAME/PTR/NS carry a name; TXT a string.
+using RData = std::variant<net::Ipv4Address, DomainName, std::string>;
+
+struct ResourceRecord {
+    DomainName name;
+    RecordType type = RecordType::kA;
+    std::uint16_t record_class = 1;
+    std::uint32_t ttl = 300;
+    RData rdata;
+
+    [[nodiscard]] static ResourceRecord a(DomainName name, net::Ipv4Address address,
+                                          std::uint32_t ttl = 300);
+    [[nodiscard]] static ResourceRecord cname(DomainName name, DomainName target,
+                                              std::uint32_t ttl = 300);
+    [[nodiscard]] static ResourceRecord ptr(DomainName name, DomainName target,
+                                            std::uint32_t ttl = 3600);
+    [[nodiscard]] static ResourceRecord txt(DomainName name, std::string text,
+                                            std::uint32_t ttl = 300);
+
+    friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+struct DnsMessage {
+    std::uint16_t id = 0;
+    bool is_response = false;
+    std::uint8_t opcode = 0;
+    bool authoritative = false;
+    bool truncated = false;
+    bool recursion_desired = true;
+    bool recursion_available = false;
+    ResponseCode rcode = ResponseCode::kNoError;
+    std::vector<Question> questions;
+    std::vector<ResourceRecord> answers;
+    std::vector<ResourceRecord> authorities;
+    std::vector<ResourceRecord> additionals;
+
+    /// Wire encoding with name compression across all sections.
+    [[nodiscard]] Bytes encode() const;
+    [[nodiscard]] static Result<DnsMessage> decode(BytesView wire);
+
+    friend bool operator==(const DnsMessage&, const DnsMessage&) = default;
+};
+
+/// Convenience constructors mirroring a stub resolver's behaviour.
+[[nodiscard]] DnsMessage make_query(std::uint16_t id, const DomainName& name, RecordType type);
+[[nodiscard]] DnsMessage make_response(const DnsMessage& query,
+                                       std::vector<ResourceRecord> answers, ResponseCode rcode);
+
+inline constexpr std::uint16_t kDnsPort = 53;
+
+}  // namespace tvacr::dns

@@ -1,0 +1,131 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace tvacr::dns {
+
+Result<DomainName> DomainName::parse(std::string_view text) {
+    DomainName name;
+    if (text.empty() || text == ".") return name;
+    std::string_view body = text;
+    if (body.back() == '.') body.remove_suffix(1);
+
+    std::size_t total = 0;
+    for (const auto& label : split(body, '.')) {
+        if (label.empty()) return make_error("DomainName: empty label in '" + std::string(text) + "'");
+        if (label.size() > 63) return make_error("DomainName: label exceeds 63 octets");
+        total += label.size() + 1;
+        name.labels_.push_back(to_lower(label));
+    }
+    if (total + 1 > 255) return make_error("DomainName: name exceeds 255 octets");
+    return name;
+}
+
+DomainName DomainName::reverse_of(net::Ipv4Address address) {
+    const auto o = address.octets();
+    DomainName name;
+    name.labels_ = {std::to_string(o[3]), std::to_string(o[2]), std::to_string(o[1]),
+                    std::to_string(o[0]), "in-addr", "arpa"};
+    return name;
+}
+
+std::string DomainName::to_string() const {
+    if (labels_.empty()) return ".";
+    return join(labels_, ".");
+}
+
+bool DomainName::is_subdomain_of(const DomainName& suffix) const {
+    if (suffix.labels_.size() > labels_.size()) return false;
+    return std::equal(suffix.labels_.rbegin(), suffix.labels_.rend(), labels_.rbegin());
+}
+
+namespace {
+
+std::string suffix_key(const std::vector<std::string>& labels, std::size_t from) {
+    std::string key;
+    for (std::size_t i = from; i < labels.size(); ++i) {
+        if (i != from) key += '.';
+        key += labels[i];
+    }
+    return key;
+}
+
+}  // namespace
+
+void encode_name(const DomainName& name, ByteWriter& out, CompressionMap& offsets) {
+    const auto& labels = name.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const std::string key = suffix_key(labels, i);
+        if (const auto it = offsets.find(key); it != offsets.end()) {
+            out.u16(static_cast<std::uint16_t>(0xC000 | it->second));
+            return;
+        }
+        // Record this suffix's offset if it is pointer-addressable (14 bits).
+        if (out.size() <= 0x3FFF) {
+            offsets.emplace(key, static_cast<std::uint16_t>(out.size()));
+        }
+        out.u8(static_cast<std::uint8_t>(labels[i].size()));
+        out.raw(std::string_view(labels[i]));
+    }
+    out.u8(0);  // root label
+}
+
+void encode_name_uncompressed(const DomainName& name, ByteWriter& out) {
+    for (const auto& label : name.labels()) {
+        out.u8(static_cast<std::uint8_t>(label.size()));
+        out.raw(std::string_view(label));
+    }
+    out.u8(0);
+}
+
+Result<DomainName> decode_name(ByteReader& in) {
+    std::vector<std::string> labels;
+    std::size_t total = 0;
+    int hops = 0;
+    std::size_t resume_position = 0;
+    bool jumped = false;
+
+    while (true) {
+        auto length = in.u8();
+        if (!length) return length.error();
+        const std::uint8_t len = length.value();
+
+        if ((len & 0xC0) == 0xC0) {  // compression pointer
+            auto low = in.u8();
+            if (!low) return low.error();
+            const std::size_t target = (static_cast<std::size_t>(len & 0x3F) << 8) | low.value();
+            if (!jumped) {
+                resume_position = in.position();
+                jumped = true;
+            }
+            if (target >= in.position() - 2) {
+                return make_error("decode_name: forward compression pointer");
+            }
+            if (++hops > 16) return make_error("decode_name: pointer loop");
+            if (auto s = in.seek(target); !s) return s.error();
+            continue;
+        }
+        if ((len & 0xC0) != 0) return make_error("decode_name: reserved label type");
+        if (len == 0) break;  // root: end of name
+
+        auto raw = in.raw(len);
+        if (!raw) return raw.error();
+        total += len + 1U;
+        if (total + 1 > 255) return make_error("decode_name: name exceeds 255 octets");
+        labels.emplace_back(raw.value().begin(), raw.value().end());
+    }
+
+    if (jumped) {
+        if (auto s = in.seek(resume_position); !s) return s.error();
+    }
+    std::string presentation;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i != 0) presentation += '.';
+        presentation += labels[i];
+    }
+    return DomainName::parse(presentation);
+}
+
+}  // namespace tvacr::dns

@@ -1,0 +1,56 @@
+// DNS domain names: label sequences with RFC 1035 wire encoding, including
+// message compression (0xC0 pointers) on both the encode and decode paths.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace tvacr::dns {
+
+class DomainName {
+  public:
+    DomainName() = default;  // the root name
+
+    /// Parses presentation format ("acr-eu-prd.samsungcloud.tv"). Lowercases
+    /// labels (DNS names compare case-insensitively) and validates lengths
+    /// (label <= 63 octets, name <= 255 octets).
+    [[nodiscard]] static Result<DomainName> parse(std::string_view text);
+
+    /// The reverse-lookup name for an IPv4 address: d.c.b.a.in-addr.arpa.
+    [[nodiscard]] static DomainName reverse_of(net::Ipv4Address address);
+
+    [[nodiscard]] const std::vector<std::string>& labels() const noexcept { return labels_; }
+    [[nodiscard]] bool is_root() const noexcept { return labels_.empty(); }
+    [[nodiscard]] std::string to_string() const;
+
+    /// True if this name is `suffix` or ends with ".suffix".
+    [[nodiscard]] bool is_subdomain_of(const DomainName& suffix) const;
+
+    auto operator<=>(const DomainName&) const = default;
+
+  private:
+    std::vector<std::string> labels_;
+};
+
+/// Offsets of already-encoded names within a message, for compression.
+/// Maps a name's presentation form to its byte offset in the message.
+using CompressionMap = std::map<std::string, std::uint16_t>;
+
+/// Encodes a name at the current writer position, reusing earlier
+/// occurrences of the name (or any of its parent suffixes) via pointers.
+void encode_name(const DomainName& name, ByteWriter& out, CompressionMap& offsets);
+
+/// Encodes without compression (e.g. when a fresh buffer is being built and
+/// pointer targets would not be meaningful).
+void encode_name_uncompressed(const DomainName& name, ByteWriter& out);
+
+/// Decodes a (possibly compressed) name. Follows pointers with a hop limit,
+/// and rejects forward pointers (RFC: pointers refer to *prior* data only).
+[[nodiscard]] Result<DomainName> decode_name(ByteReader& in);
+
+}  // namespace tvacr::dns

@@ -1,0 +1,87 @@
+#include "dns/zone.hpp"
+
+#include <cassert>
+
+namespace tvacr::dns {
+
+namespace {
+
+DomainName must_parse(std::string_view text) {
+    auto name = DomainName::parse(text);
+    assert(name.ok());
+    return std::move(name).value();
+}
+
+}  // namespace
+
+void Zone::add(ResourceRecord record) {
+    DomainName key = record.name;
+    records_.emplace(std::move(key), std::move(record));
+}
+
+void Zone::add_a(std::string_view name, net::Ipv4Address address) {
+    add(ResourceRecord::a(must_parse(name), address));
+}
+
+void Zone::add_cname(std::string_view name, std::string_view target) {
+    add(ResourceRecord::cname(must_parse(name), must_parse(target)));
+}
+
+void Zone::add_ptr(net::Ipv4Address address, std::string_view target) {
+    add(ResourceRecord::ptr(DomainName::reverse_of(address), must_parse(target)));
+}
+
+void Zone::add_txt(std::string_view name, std::string text) {
+    add(ResourceRecord::txt(must_parse(name), std::move(text)));
+}
+
+void Zone::remove(const DomainName& name) { records_.erase(name); }
+
+std::vector<ResourceRecord> Zone::lookup(const DomainName& name, RecordType type) const {
+    std::vector<ResourceRecord> out;
+    DomainName current = name;
+    // Chase at most 8 CNAME links; real resolvers bound chain length too.
+    for (int depth = 0; depth < 8; ++depth) {
+        const auto [begin, end] = records_.equal_range(current);
+        const ResourceRecord* cname = nullptr;
+        bool found_exact = false;
+        for (auto it = begin; it != end; ++it) {
+            if (it->second.type == type) {
+                out.push_back(it->second);
+                found_exact = true;
+            } else if (it->second.type == RecordType::kCname) {
+                cname = &it->second;
+            }
+        }
+        if (found_exact || cname == nullptr || type == RecordType::kCname) return out;
+        out.push_back(*cname);
+        current = std::get<DomainName>(cname->rdata);
+    }
+    return out;
+}
+
+DnsMessage Zone::answer(const DnsMessage& query) const {
+    if (query.questions.empty()) {
+        return make_response(query, {}, ResponseCode::kFormErr);
+    }
+    const auto& question = query.questions.front();
+    auto answers = lookup(question.name, question.type);
+    if (!answers.empty()) {
+        return make_response(query, std::move(answers), ResponseCode::kNoError);
+    }
+    // Distinguish NODATA (name exists, different type) from NXDOMAIN.
+    const bool name_exists = records_.contains(question.name);
+    return make_response(query, {},
+                         name_exists ? ResponseCode::kNoError : ResponseCode::kNxDomain);
+}
+
+std::optional<net::Ipv4Address> Zone::resolve_a(const DomainName& name) const {
+    for (const auto& record : lookup(name, RecordType::kA)) {
+        if (record.type == RecordType::kA) return std::get<net::Ipv4Address>(record.rdata);
+    }
+    return std::nullopt;
+}
+
+std::size_t Zone::record_count() const noexcept { return records_.size(); }
+
+}  // namespace tvacr::dns

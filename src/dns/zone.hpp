@@ -1,0 +1,48 @@
+// Authoritative record store and query answering.
+//
+// The simulated internet's DNS: platform and ACR operators register their
+// records here (A, CNAME, PTR), and the cloud's resolver answers the TV's
+// queries from it. PTR records matter because the geolocation layer's
+// reverse-DNS engine parses geographic hints out of them, exactly as RIPE
+// IPmap's rDNS engine does.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/message.hpp"
+
+namespace tvacr::dns {
+
+class Zone {
+  public:
+    void add(ResourceRecord record);
+    void add_a(std::string_view name, net::Ipv4Address address);
+    void add_cname(std::string_view name, std::string_view target);
+    void add_ptr(net::Ipv4Address address, std::string_view target);
+    void add_txt(std::string_view name, std::string text);
+
+    /// Removes all records for a name (domain rotation: eu-acr4 -> eu-acr7).
+    void remove(const DomainName& name);
+
+    /// Answers a question: exact-type records for the name, following CNAME
+    /// chains (the chain's records are all included in the answer section,
+    /// as a recursive resolver would). Empty result => NXDOMAIN/NODATA.
+    [[nodiscard]] std::vector<ResourceRecord> lookup(const DomainName& name,
+                                                     RecordType type) const;
+
+    /// Full query handling: builds the response message for a query,
+    /// distinguishing NXDOMAIN (unknown name) from NODATA (no such type).
+    [[nodiscard]] DnsMessage answer(const DnsMessage& query) const;
+
+    /// First A record for a name after CNAME chasing, if any.
+    [[nodiscard]] std::optional<net::Ipv4Address> resolve_a(const DomainName& name) const;
+
+    [[nodiscard]] std::size_t record_count() const noexcept;
+
+  private:
+    std::multimap<DomainName, ResourceRecord> records_;
+};
+
+}  // namespace tvacr::dns

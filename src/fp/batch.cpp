@@ -1,0 +1,217 @@
+#include "fp/batch.hpp"
+
+namespace tvacr::fp {
+
+namespace {
+
+constexpr std::uint8_t kTagFull = 0x01;
+constexpr std::uint8_t kTagRepeat = 0x02;
+
+void write_full(ByteWriter& out, const CaptureRecord& record, bool has_audio) {
+    out.u8(kTagFull);
+    out.u32(record.offset_ms);
+    out.u64(record.video);
+    out.u16(record.detail);
+    if (has_audio) out.u32(record.audio);
+}
+
+}  // namespace
+
+Bytes FingerprintBatch::serialize(BatchEncoding encoding) const {
+    ByteWriter out(32 + records.size() * 13);
+    out.u32(kMagic);
+    out.u8(1);  // version
+    out.u8(static_cast<std::uint8_t>(encoding));
+    out.u8(has_audio ? 1 : 0);
+    out.u64(device_id);
+    out.u64(start_ms);
+    out.u16(capture_period_ms);
+    out.u32(static_cast<std::uint32_t>(records.size()));
+
+    if (encoding == BatchEncoding::kRaw) {
+        for (const auto& record : records) write_full(out, record, has_audio);
+        return std::move(out).take();
+    }
+    if (encoding == BatchEncoding::kCompactRaw || encoding == BatchEncoding::kCompactRle) {
+        // Offsets are stored in capture-period units, which fits 15 bits for
+        // any realistic batch (LG: 1500 records per 15 s window). In the RLE
+        // variant a run of identical records is collapsed into one record
+        // followed by a 16-bit marker with the high bit set and the repeat
+        // count in the low 15 bits.
+        const bool rle = encoding == BatchEncoding::kCompactRle;
+        const std::uint32_t period = std::max<std::uint32_t>(capture_period_ms, 1);
+        std::size_t i = 0;
+        while (i < records.size()) {
+            const auto& record = records[i];
+            out.u16(static_cast<std::uint16_t>((record.offset_ms / period) & 0x7FFF));
+            out.u64(record.video);
+            out.u16(record.detail);
+            if (has_audio) out.u32(record.audio);
+            std::size_t run = 1;
+            if (rle) {
+                while (i + run < records.size() && run < 0x7FFF &&
+                       records[i + run].video == record.video &&
+                       records[i + run].audio == record.audio &&
+                       records[i + run].detail == record.detail) {
+                    ++run;
+                }
+                if (run > 1) out.u16(static_cast<std::uint16_t>(0x8000U | (run - 1)));
+            }
+            i += run;
+        }
+        return std::move(out).take();
+    }
+
+    // Delta-RLE: a full record opens each run; identical consecutive
+    // (video,audio) pairs extend it with one 16-bit counter.
+    std::size_t i = 0;
+    while (i < records.size()) {
+        write_full(out, records[i], has_audio);
+        std::size_t run = 1;
+        while (i + run < records.size() && run < 0xFFFF &&
+               records[i + run].video == records[i].video &&
+               records[i + run].audio == records[i].audio &&
+               records[i + run].detail == records[i].detail) {
+            ++run;
+        }
+        if (run > 1) {
+            out.u8(kTagRepeat);
+            out.u16(static_cast<std::uint16_t>(run - 1));
+        }
+        i += run;
+    }
+    return std::move(out).take();
+}
+
+Result<FingerprintBatch> FingerprintBatch::deserialize(BytesView wire) {
+    ByteReader in(wire);
+    auto magic = in.u32();
+    if (!magic) return magic.error();
+    if (magic.value() != kMagic) return make_error("FingerprintBatch: bad magic");
+    auto version = in.u8();
+    if (!version) return version.error();
+    if (version.value() != 1) return make_error("FingerprintBatch: unsupported version");
+    auto encoding = in.u8();
+    if (!encoding) return encoding.error();
+    if (encoding.value() > 3) return make_error("FingerprintBatch: unknown encoding");
+    auto audio_flag = in.u8();
+    if (!audio_flag) return audio_flag.error();
+
+    FingerprintBatch batch;
+    batch.has_audio = audio_flag.value() != 0;
+    auto device = in.u64();
+    if (!device) return device.error();
+    batch.device_id = device.value();
+    auto start = in.u64();
+    if (!start) return start.error();
+    batch.start_ms = start.value();
+    auto period = in.u16();
+    if (!period) return period.error();
+    batch.capture_period_ms = period.value();
+    auto count = in.u32();
+    if (!count) return count.error();
+    batch.records.reserve(count.value());
+
+    if (encoding.value() == static_cast<std::uint8_t>(BatchEncoding::kCompactRaw) ||
+        encoding.value() == static_cast<std::uint8_t>(BatchEncoding::kCompactRle)) {
+        const bool rle = encoding.value() == static_cast<std::uint8_t>(BatchEncoding::kCompactRle);
+        const std::uint32_t period = std::max<std::uint32_t>(batch.capture_period_ms, 1);
+        while (batch.records.size() < count.value()) {
+            CaptureRecord record;
+            auto offset_units = in.u16();
+            if (!offset_units) return offset_units.error();
+            if ((offset_units.value() & 0x8000U) != 0) {
+                return make_error("FingerprintBatch: repeat marker before record");
+            }
+            record.offset_ms = offset_units.value() * period;
+            auto video = in.u64();
+            if (!video) return video.error();
+            record.video = video.value();
+            auto detail = in.u16();
+            if (!detail) return detail.error();
+            record.detail = detail.value();
+            if (batch.has_audio) {
+                auto audio = in.u32();
+                if (!audio) return audio.error();
+                record.audio = audio.value();
+            }
+            batch.records.push_back(record);
+            // No repeat marker can follow the record that completes the
+            // declared count — and trailing bytes (transport envelopes) must
+            // not be misread as one.
+            if (!rle || batch.records.size() >= count.value() || in.remaining() < 2) continue;
+            // Peek: a high-bit u16 is a repeat marker for the record above.
+            const std::size_t mark = in.position();
+            auto peek = in.u16();
+            if (!peek) return peek.error();
+            if ((peek.value() & 0x8000U) == 0) {
+                if (auto s = in.seek(mark); !s) return s.error();
+                continue;
+            }
+            const std::uint16_t extra = peek.value() & 0x7FFF;
+            for (std::uint16_t k = 1; k <= extra; ++k) {
+                CaptureRecord repeated = record;
+                repeated.offset_ms = record.offset_ms + k * period;
+                batch.records.push_back(repeated);
+                if (batch.records.size() > count.value()) {
+                    return make_error("FingerprintBatch: repeat overruns count");
+                }
+            }
+        }
+        return batch;
+    }
+
+    while (batch.records.size() < count.value()) {
+        auto tag = in.u8();
+        if (!tag) return tag.error();
+        if (tag.value() == kTagFull) {
+            CaptureRecord record;
+            auto offset = in.u32();
+            if (!offset) return offset.error();
+            record.offset_ms = offset.value();
+            auto video = in.u64();
+            if (!video) return video.error();
+            record.video = video.value();
+            auto detail = in.u16();
+            if (!detail) return detail.error();
+            record.detail = detail.value();
+            if (batch.has_audio) {
+                auto audio = in.u32();
+                if (!audio) return audio.error();
+                record.audio = audio.value();
+            }
+            batch.records.push_back(record);
+        } else if (tag.value() == kTagRepeat) {
+            if (batch.records.empty()) return make_error("FingerprintBatch: repeat before full");
+            auto extra = in.u16();
+            if (!extra) return extra.error();
+            const CaptureRecord base = batch.records.back();
+            const std::uint32_t period = batch.capture_period_ms;
+            for (std::uint16_t k = 1; k <= extra.value(); ++k) {
+                CaptureRecord repeated = base;
+                repeated.offset_ms = base.offset_ms + k * period;
+                batch.records.push_back(repeated);
+                if (batch.records.size() > count.value()) {
+                    return make_error("FingerprintBatch: repeat overruns count");
+                }
+            }
+        } else {
+            return make_error("FingerprintBatch: unknown record tag");
+        }
+    }
+    return batch;
+}
+
+std::size_t run_count(const FingerprintBatch& batch) {
+    std::size_t runs = 0;
+    for (std::size_t i = 0; i < batch.records.size(); ++i) {
+        if (i == 0 || batch.records[i].video != batch.records[i - 1].video ||
+            batch.records[i].audio != batch.records[i - 1].audio ||
+            batch.records[i].detail != batch.records[i - 1].detail) {
+            ++runs;
+        }
+    }
+    return runs;
+}
+
+}  // namespace tvacr::fp

@@ -1,0 +1,57 @@
+// Fingerprint batches: what the ACR client accumulates between uploads.
+//
+// LG's documentation says frames are captured every 10 ms yet traffic leaves
+// every 15 s; Samsung captures every 500 ms and uploads every minute (paper
+// §4.1). The batch is that accumulation unit. Its wire encoding supports
+// run-length collapsing of *identical consecutive* hashes, which is why a
+// static desktop over HDMI uploads fewer bytes than a fast-cutting antenna
+// channel — the content, not a constant, drives the byte counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "fp/video_fp.hpp"
+
+namespace tvacr::fp {
+
+struct CaptureRecord {
+    std::uint32_t offset_ms = 0;  // since batch start
+    VideoHash video = 0;
+    std::uint32_t audio = 0;  // 0 when the client fingerprints video only
+    /// Fine-grained frame digest (exact-pixel fold). Distinct whenever any
+    /// motion occurred, identical across truly static frames — this is what
+    /// the RLE encoder keys on, so only static content compresses.
+    std::uint16_t detail = 0;
+
+    friend bool operator==(const CaptureRecord&, const CaptureRecord&) = default;
+};
+
+enum class BatchEncoding : std::uint8_t {
+    kRaw = 0,         // every record fully serialized (tagged, 32-bit offsets)
+    kDeltaRle = 1,    // identical consecutive records collapse (tagged)
+    kCompactRaw = 2,  // untagged records with 16-bit period-unit offsets
+    kCompactRle = 3,  // compact records; runs collapse via a high-bit marker
+};
+
+struct FingerprintBatch {
+    static constexpr std::uint32_t kMagic = 0x41435242;  // "ACRB"
+
+    std::uint64_t device_id = 0;
+    std::uint64_t start_ms = 0;         // device uptime at batch start
+    std::uint16_t capture_period_ms = 0;
+    bool has_audio = false;
+    std::vector<CaptureRecord> records;
+
+    [[nodiscard]] Bytes serialize(BatchEncoding encoding) const;
+    [[nodiscard]] static Result<FingerprintBatch> deserialize(BytesView wire);
+
+    friend bool operator==(const FingerprintBatch&, const FingerprintBatch&) = default;
+};
+
+/// Number of maximal runs of identical consecutive hashes — the compressed
+/// record count (diagnostic; also used by tests and the ablation bench).
+[[nodiscard]] std::size_t run_count(const FingerprintBatch& batch);
+
+}  // namespace tvacr::fp

@@ -1,0 +1,98 @@
+// Deterministic synthetic audio/video content.
+//
+// The paper's testbed displays real content (antenna broadcast, FAST
+// channels, Netflix, an HDMI laptop/console). We cannot ship that, so each
+// scenario's screen output is synthesized with the *temporal statistics*
+// that drive fingerprint behaviour: scene-change cadence, fraction of
+// fully-static intervals (menus, paused screens, desktops), and per-frame
+// motion noise. The same generator seeds both the TV's ACR client and the
+// server-side content library, so matching genuinely works end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "fp/frame.hpp"
+
+namespace tvacr::fp {
+
+enum class ContentKind {
+    kLiveBroadcast,  // linear/antenna channel feed
+    kFastChannel,    // internet-streamed linear (Samsung TV+, LG Channels)
+    kOttStream,      // third-party app (Netflix/YouTube)
+    kHdmiDesktop,    // laptop browsing over HDMI (long static dwell)
+    kHdmiConsole,    // gaming console over HDMI (near-constant motion)
+    kScreenCast,     // mirrored phone/laptop screen
+    kHomeScreen,     // TV launcher UI
+    kAdvertisement,  // ad creative inside a break
+};
+
+enum class Genre { kNews, kSports, kDrama, kKids, kGaming, kShopping, kOther };
+
+[[nodiscard]] std::string to_string(ContentKind kind);
+[[nodiscard]] std::string to_string(Genre genre);
+
+/// Temporal statistics of a content class. These, not hard-coded byte
+/// counts, are what make per-scenario ACR traffic differ.
+struct ContentDynamics {
+    SimTime mean_scene_length = SimTime::seconds(4);
+    /// Probability that a scene is fully static (no motion noise at all).
+    double static_scene_fraction = 0.02;
+    /// Per-frame probability that motion perturbs the frame within a
+    /// non-static scene (live video ~1.0; desktops much lower).
+    double motion_rate = 1.0;
+
+    [[nodiscard]] static ContentDynamics for_kind(ContentKind kind);
+};
+
+/// A deterministic A/V stream: frame and audio content depend only on
+/// (seed, time), so the client and the reference library agree bit-for-bit.
+class ContentStream {
+  public:
+    ContentStream(std::uint64_t seed, ContentDynamics dynamics, int width = 36, int height = 16);
+
+    [[nodiscard]] Frame frame_at(SimTime t) const;
+    [[nodiscard]] AudioWindow audio_at(SimTime t) const;
+
+    /// Index of the scene containing `t` (scene boundaries are part of the
+    /// deterministic schedule).
+    [[nodiscard]] std::size_t scene_index_at(SimTime t) const;
+    [[nodiscard]] bool scene_is_static(std::size_t scene_index) const;
+    /// Start time of a scene (0 for the first scene).
+    [[nodiscard]] SimTime scene_start(std::size_t scene_index) const;
+
+    [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+    [[nodiscard]] const ContentDynamics& dynamics() const noexcept { return dynamics_; }
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] int height() const noexcept { return height_; }
+
+  private:
+    /// Extends the cached scene schedule to cover `t`.
+    void ensure_schedule(SimTime t) const;
+
+    std::uint64_t seed_;
+    ContentDynamics dynamics_;
+    int width_;
+    int height_;
+    // Lazily-grown deterministic scene schedule: start time of scene i+1.
+    mutable std::vector<SimTime> scene_ends_;
+    mutable Rng schedule_rng_;
+    // Onset-aligned audio windows are scene-constant: cache the analysis.
+    mutable std::vector<std::pair<std::size_t, AudioWindow>> audio_cache_;
+};
+
+/// Catalog entry for the ACR backend's reference library.
+struct ContentInfo {
+    std::uint64_t id = 0;
+    std::string title;
+    Genre genre = Genre::kOther;
+    ContentKind kind = ContentKind::kLiveBroadcast;
+    SimTime duration = SimTime::minutes(30);
+    std::uint64_t seed = 0;  // drives the ContentStream
+    ContentDynamics dynamics;
+};
+
+}  // namespace tvacr::fp

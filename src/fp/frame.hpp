@@ -1,0 +1,43 @@
+// Video frames and audio chunks as the ACR client sees them.
+//
+// Real ACR clients downscale the panel output aggressively before hashing;
+// we model the post-downscale luma plane directly (36x16 by default), which
+// is all a perceptual hash consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tvacr::fp {
+
+struct Frame {
+    int width = 0;
+    int height = 0;
+    std::vector<std::uint8_t> luma;  // row-major, width*height entries
+
+    [[nodiscard]] std::uint8_t at(int x, int y) const {
+        return luma[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                    static_cast<std::size_t>(x)];
+    }
+    [[nodiscard]] std::uint8_t& at(int x, int y) {
+        return luma[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                    static_cast<std::size_t>(x)];
+    }
+};
+
+[[nodiscard]] inline Frame make_frame(int width, int height) {
+    Frame frame;
+    frame.width = width;
+    frame.height = height;
+    frame.luma.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0);
+    return frame;
+}
+
+/// Audio analysis window: energies of 8 log-spaced bands, already computed
+/// by the client's filter bank.
+struct AudioWindow {
+    static constexpr int kBands = 8;
+    float band_energy[kBands] = {};
+};
+
+}  // namespace tvacr::fp

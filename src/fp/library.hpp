@@ -1,0 +1,45 @@
+// Server-side content library: the database of known content (movies, ads,
+// live feeds) that uploaded fingerprints are matched against (Figure 1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fp/content.hpp"
+#include "fp/video_fp.hpp"
+
+namespace tvacr::fp {
+
+class ContentLibrary {
+  public:
+    /// Reference fingerprints are sampled at this cadence.
+    static constexpr SimTime kReferencePeriod = SimTime::millis(500);
+
+    /// Registers content and precomputes its reference hash track.
+    void add(const ContentInfo& info);
+
+    [[nodiscard]] const ContentInfo* find(std::uint64_t content_id) const;
+    [[nodiscard]] std::span<const VideoHash> reference_hashes(std::uint64_t content_id) const;
+    [[nodiscard]] std::span<const std::uint32_t> reference_audio(std::uint64_t content_id) const;
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+    struct Entry {
+        ContentInfo info;
+        std::vector<VideoHash> hashes;        // one per kReferencePeriod step
+        std::vector<std::uint32_t> audio;     // audio_hash per step
+    };
+    [[nodiscard]] const std::unordered_map<std::uint64_t, Entry>& entries() const noexcept {
+        return entries_;
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+/// A small builtin catalog spanning the genres and kinds the scenarios use;
+/// deterministic given `seed`.
+[[nodiscard]] std::vector<ContentInfo> builtin_catalog(std::uint64_t seed);
+
+}  // namespace tvacr::fp

@@ -1,0 +1,153 @@
+#include "fp/matcher.hpp"
+
+#include <algorithm>
+
+#include "fp/video_fp.hpp"
+
+namespace tvacr::fp {
+
+MatchServer::MatchServer(const ContentLibrary& library, Options options)
+    : library_(library), options_(options) {
+    reindex();
+}
+
+void MatchServer::reindex() {
+    index_.clear();
+    indexed_hashes_ = 0;
+    for (const auto& [content_id, entry] : library_.entries()) {
+        for (std::size_t position = 0; position < entry.hashes.size(); ++position) {
+            const VideoHash hash = entry.hashes[position];
+            for (int band = 0; band < 4; ++band) {
+                const auto value = static_cast<std::uint16_t>(hash >> (band * 16));
+                index_.emplace(band_key(band, value),
+                               Posting{content_id, static_cast<std::uint32_t>(position)});
+            }
+            ++indexed_hashes_;
+        }
+    }
+}
+
+std::optional<MatchResult> MatchServer::match(const FingerprintBatch& batch) const {
+    if (batch.records.empty()) return std::nullopt;
+
+    // Votes keyed by (content, aligned start bucket). The alignment bucket is
+    // where the *batch start* would sit in the content's timeline, so records
+    // from different offsets of the same viewing session agree.
+    struct Key {
+        std::uint64_t content;
+        std::int64_t bucket;
+        bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const noexcept {
+            return std::hash<std::uint64_t>{}(k.content * 0x9E3779B97F4A7C15ULL ^
+                                              static_cast<std::uint64_t>(k.bucket));
+        }
+    };
+    struct Tally {
+        int votes = 0;
+        VideoHash last_hash = 0;
+        int distinct = 0;
+    };
+    std::unordered_map<Key, Tally, KeyHash> votes;
+
+    const std::int64_t tolerance_us = options_.offset_tolerance.as_micros();
+    const std::int64_t reference_us = ContentLibrary::kReferencePeriod.as_micros();
+
+    // Voting over every record is wasteful for dense batches (LG uploads
+    // 1500 records per 15 s); sampling ~4 records per second loses nothing
+    // because neighbouring records carry the same scene hash.
+    const std::uint32_t period_ms = std::max<std::uint32_t>(batch.capture_period_ms, 1);
+    const std::size_t stride = std::max<std::size_t>(1, 250 / period_ms);
+    std::size_t sampled = 0;
+
+    for (std::size_t i = 0; i < batch.records.size(); i += stride) {
+        const auto& record = batch.records[i];
+        ++sampled;
+        // Best candidate across the four bands: one vote per record.
+        const Posting* best_posting = nullptr;
+        int best_distance = options_.max_hamming + 1;
+        for (int band = 0; band < 4; ++band) {
+            const auto value = static_cast<std::uint16_t>(record.video >> (band * 16));
+            const auto [begin, end] = index_.equal_range(band_key(band, value));
+            for (auto it = begin; it != end; ++it) {
+                const auto& entry = library_.entries().at(it->second.content_id);
+                const VideoHash reference = entry.hashes[it->second.position];
+                const int distance = hamming(reference, record.video);
+                if (distance < best_distance) {
+                    best_distance = distance;
+                    best_posting = &it->second;
+                }
+            }
+        }
+        if (best_posting == nullptr) continue;
+        const std::int64_t content_us =
+            static_cast<std::int64_t>(best_posting->position) * reference_us;
+        const std::int64_t start_us =
+            content_us - static_cast<std::int64_t>(record.offset_ms) * 1000;
+        // Round (not floor) to the bucket centre so a session start near a
+        // bucket edge does not split its votes between two buckets.
+        const std::int64_t bucket =
+            (start_us + tolerance_us / 2) / tolerance_us;
+        auto& tally = votes[Key{best_posting->content_id, bucket}];
+        tally.votes += 1;
+        if (tally.distinct == 0 || tally.last_hash != record.video) {
+            tally.distinct += 1;
+            tally.last_hash = record.video;
+        }
+    }
+
+    const auto best = std::max_element(
+        votes.begin(), votes.end(),
+        [](const auto& a, const auto& b) { return a.second.votes < b.second.votes; });
+    if (best == votes.end()) return std::nullopt;
+    if (best->second.distinct < options_.min_distinct_evidence) return std::nullopt;
+
+    const double confidence =
+        static_cast<double>(best->second.votes) / static_cast<double>(sampled);
+    if (confidence < options_.min_confidence) return std::nullopt;
+
+    MatchResult result;
+    result.content_id = best->first.content;
+    result.content_offset = SimTime::micros(std::max<std::int64_t>(
+        0, best->first.bucket * tolerance_us));
+    result.votes = best->second.votes;
+    result.confidence = std::min(confidence, 1.0);
+
+    // Audio corroboration: compare the batch's audio hashes against the
+    // reference audio track at the aligned position. Scene granularity makes
+    // exact per-step alignment unnecessary — agreement within +/-1 step
+    // counts.
+    if (batch.has_audio) {
+        const auto reference_audio = library_.reference_audio(result.content_id);
+        if (!reference_audio.empty()) {
+            int audio_checked = 0;
+            int audio_agree = 0;
+            for (std::size_t i = 0; i < batch.records.size(); i += stride) {
+                const auto& record = batch.records[i];
+                if (record.audio == 0) continue;
+                const std::int64_t position_us = result.content_offset.as_micros() +
+                                                 static_cast<std::int64_t>(record.offset_ms) * 1000;
+                const std::int64_t step = position_us / reference_us;
+                ++audio_checked;
+                for (std::int64_t probe = step - 1; probe <= step + 1; ++probe) {
+                    if (probe < 0 ||
+                        probe >= static_cast<std::int64_t>(reference_audio.size())) {
+                        continue;
+                    }
+                    if (reference_audio[static_cast<std::size_t>(probe)] == record.audio) {
+                        ++audio_agree;
+                        break;
+                    }
+                }
+            }
+            if (audio_checked > 0) {
+                result.audio_agreement =
+                    static_cast<double>(audio_agree) / static_cast<double>(audio_checked);
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace tvacr::fp

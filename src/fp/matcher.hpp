@@ -1,0 +1,79 @@
+// The ACR match server: identifies what content a fingerprint batch shows.
+//
+// Index: each 64-bit reference hash is cut into four 16-bit bands; a batch
+// hash retrieves candidates sharing any band exactly (an LSH scheme — a
+// candidate within Hamming distance <= max_hamming must agree on at least
+// one band whenever max_hamming < 4 bands' worth of spread, and in practice
+// noise touches only a few bits). Candidates are verified by full Hamming
+// distance and vote for (content, time offset); the best-aligned content
+// wins when enough records agree.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "fp/batch.hpp"
+#include "fp/library.hpp"
+
+namespace tvacr::fp {
+
+struct MatchResult {
+    std::uint64_t content_id = 0;
+    /// Position within the content where the batch's first record aligned.
+    SimTime content_offset;
+    int votes = 0;
+    double confidence = 0.0;  // votes / records
+    /// Fraction of audio-carrying records whose audio hash agrees with the
+    /// reference at the aligned position ("frames and/or audio", Figure 1);
+    /// -1 when the batch carried no audio.
+    double audio_agreement = -1.0;
+};
+
+/// Matching thresholds.
+struct MatchOptions {
+    int max_hamming = 10;
+    /// Minimum fraction of batch records that must agree on the same
+    /// (content, offset) alignment.
+    double min_confidence = 0.35;
+    /// Alignment bucket: votes within this window pool together. Must
+    /// exceed the typical scene length — per-scene hashes pin a record's
+    /// content position only to scene granularity, so a tight bucket
+    /// scatters votes that belong to one session.
+    SimTime offset_tolerance = SimTime::seconds(8);
+    /// Minimum number of *distinct* record hashes that must support the
+    /// winning alignment. A batch that dwells on a single scene carries one
+    /// hash repeated hundreds of times; one near-collision would otherwise
+    /// win with full confidence.
+    int min_distinct_evidence = 2;
+};
+
+class MatchServer {
+  public:
+    using Options = MatchOptions;
+
+    explicit MatchServer(const ContentLibrary& library, Options options = Options());
+
+    /// Rebuilds the band index from the library (call after library changes).
+    void reindex();
+
+    [[nodiscard]] std::optional<MatchResult> match(const FingerprintBatch& batch) const;
+
+    [[nodiscard]] std::size_t indexed_hashes() const noexcept { return indexed_hashes_; }
+
+  private:
+    struct Posting {
+        std::uint64_t content_id;
+        std::uint32_t position;  // reference step index
+    };
+
+    [[nodiscard]] static std::uint64_t band_key(int band, std::uint16_t value) noexcept {
+        return (static_cast<std::uint64_t>(band) << 16) | value;
+    }
+
+    const ContentLibrary& library_;
+    Options options_;
+    std::unordered_multimap<std::uint64_t, Posting> index_;
+    std::size_t indexed_hashes_ = 0;
+};
+
+}  // namespace tvacr::fp

@@ -1,0 +1,60 @@
+#include "fp/segments.hpp"
+
+namespace tvacr::fp {
+
+double DeviceProfile::genre_share(Genre genre) const {
+    if (total_watch_time.as_micros() <= 0) return 0.0;
+    const auto it = by_genre.find(genre);
+    if (it == by_genre.end()) return 0.0;
+    return static_cast<double>(it->second.as_micros()) /
+           static_cast<double>(total_watch_time.as_micros());
+}
+
+void AudienceProfiler::record_match(std::uint64_t device_id, const MatchResult& match,
+                                    SimTime credited) {
+    const ContentInfo* info = library_.find(match.content_id);
+    if (info == nullptr) return;
+
+    auto& profile = profiles_[device_id];
+    profile.device_id = device_id;
+    profile.total_watch_time += credited;
+    profile.by_genre[info->genre] += credited;
+    profile.by_kind[info->kind] += credited;
+    profile.events += 1;
+
+    events_.push_back(ViewingEvent{device_id, info->id, info->genre, info->kind,
+                                   match.content_offset, credited});
+}
+
+const DeviceProfile* AudienceProfiler::profile(std::uint64_t device_id) const {
+    const auto it = profiles_.find(device_id);
+    return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> AudienceProfiler::segments(std::uint64_t device_id) const {
+    std::vector<std::string> out;
+    const DeviceProfile* profile = this->profile(device_id);
+    if (profile == nullptr || profile->total_watch_time.as_micros() <= 0) return out;
+
+    struct Rule {
+        Genre genre;
+        double threshold;
+        const char* label;
+    };
+    static constexpr Rule kRules[] = {
+        {Genre::kSports, 0.25, "sports-enthusiast"},
+        {Genre::kNews, 0.25, "news-junkie"},
+        {Genre::kKids, 0.15, "household-with-children"},
+        {Genre::kDrama, 0.30, "binge-watcher"},
+        {Genre::kGaming, 0.20, "gamer"},
+        {Genre::kShopping, 0.20, "shopping-intender"},
+    };
+    for (const auto& rule : kRules) {
+        if (profile->genre_share(rule.genre) >= rule.threshold) out.emplace_back(rule.label);
+    }
+    if (profile->total_watch_time >= SimTime::hours(4)) out.emplace_back("heavy-viewer");
+    if (out.empty()) out.emplace_back("general-audience");
+    return out;
+}
+
+}  // namespace tvacr::fp

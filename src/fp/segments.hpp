@@ -1,0 +1,62 @@
+// Audience segmentation: what the "second party" does with ACR matches.
+//
+// Samsung and LG profile users into audience segments used to target ads
+// (paper §2). This module closes the loop: matches accumulate per device
+// into a genre/daypart profile from which named segments are derived —
+// demonstrating, in the examples, exactly what viewing-history tracking
+// enables even though only content *hashes* ever left the TV.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fp/library.hpp"
+#include "fp/matcher.hpp"
+
+namespace tvacr::fp {
+
+struct ViewingEvent {
+    std::uint64_t device_id = 0;
+    std::uint64_t content_id = 0;
+    Genre genre = Genre::kOther;
+    ContentKind kind = ContentKind::kLiveBroadcast;
+    SimTime watched_at;       // device-relative time
+    SimTime duration;         // credited watch time for this event
+};
+
+struct DeviceProfile {
+    std::uint64_t device_id = 0;
+    SimTime total_watch_time;
+    std::map<Genre, SimTime> by_genre;
+    std::map<ContentKind, SimTime> by_kind;
+    std::uint64_t events = 0;
+
+    /// Fraction of watch time in a genre (0 when nothing watched).
+    [[nodiscard]] double genre_share(Genre genre) const;
+};
+
+class AudienceProfiler {
+  public:
+    explicit AudienceProfiler(const ContentLibrary& library) : library_(library) {}
+
+    /// Credits a match against a device's profile. `credited` is the
+    /// batch/window duration the match covered.
+    void record_match(std::uint64_t device_id, const MatchResult& match, SimTime credited);
+
+    [[nodiscard]] const DeviceProfile* profile(std::uint64_t device_id) const;
+    [[nodiscard]] const std::vector<ViewingEvent>& events() const noexcept { return events_; }
+
+    /// Named segments for a device, e.g. "sports-enthusiast" when sports
+    /// exceeds 25% of watch time. Deterministic rule set, mirroring the
+    /// genre-share style audience definitions ad platforms document.
+    [[nodiscard]] std::vector<std::string> segments(std::uint64_t device_id) const;
+
+  private:
+    const ContentLibrary& library_;
+    std::map<std::uint64_t, DeviceProfile> profiles_;
+    std::vector<ViewingEvent> events_;
+};
+
+}  // namespace tvacr::fp

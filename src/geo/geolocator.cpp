@@ -1,0 +1,34 @@
+#include "geo/geolocator.hpp"
+
+namespace tvacr::geo {
+
+GeolocationResult Geolocator::locate(net::Ipv4Address address) const {
+    GeolocationResult result;
+    result.address = address;
+    result.maxmind = maxmind_.lookup(address);
+    result.ip2location = ip2location_.lookup(address);
+    result.databases_agree = result.maxmind != nullptr && result.ip2location != nullptr &&
+                             *result.maxmind == *result.ip2location;
+
+    if (result.databases_agree) {
+        result.final_city = result.maxmind;
+        result.method = "geoip-consensus";
+        return result;
+    }
+
+    // Disagreement (or a missing row): traceroute from the vantage, then let
+    // RIPE IPmap decide.
+    result.traceroute = traceroute_.run(vantage_, address);
+    const IpMapResult ipmap = ipmap_.locate(address);
+    result.final_city = ipmap.final_city;
+    result.method = "ripe-ipmap/" + to_string(ipmap.deciding_engine);
+
+    // If IPmap abstained entirely, fall back to whichever database answered.
+    if (result.final_city == nullptr) {
+        result.final_city = result.maxmind != nullptr ? result.maxmind : result.ip2location;
+        result.method = "geoip-fallback";
+    }
+    return result;
+}
+
+}  // namespace tvacr::geo

@@ -1,0 +1,45 @@
+// The paper's geolocation decision procedure (§4.1): look the IP up in two
+// commercial GeoIP databases; when they disagree, run a traceroute from the
+// measurement country and ask RIPE IPmap, whose verdict wins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/ipdb.hpp"
+#include "geo/ripe_ipmap.hpp"
+#include "geo/traceroute.hpp"
+
+namespace tvacr::geo {
+
+struct GeolocationResult {
+    net::Ipv4Address address;
+    const City* maxmind = nullptr;
+    const City* ip2location = nullptr;
+    bool databases_agree = false;
+    const City* final_city = nullptr;
+    std::string method;  // "geoip-consensus" or "ripe-ipmap/<engine>"
+    std::vector<Hop> traceroute;  // only populated on disagreement
+};
+
+class Geolocator {
+  public:
+    Geolocator(const GeoIpDatabase& maxmind_like, const GeoIpDatabase& ip2location_like,
+               const RipeIpMap& ipmap, const Traceroute& traceroute, const City& vantage)
+        : maxmind_(maxmind_like),
+          ip2location_(ip2location_like),
+          ipmap_(ipmap),
+          traceroute_(traceroute),
+          vantage_(vantage) {}
+
+    [[nodiscard]] GeolocationResult locate(net::Ipv4Address address) const;
+
+  private:
+    const GeoIpDatabase& maxmind_;
+    const GeoIpDatabase& ip2location_;
+    const RipeIpMap& ipmap_;
+    const Traceroute& traceroute_;
+    const City& vantage_;
+};
+
+}  // namespace tvacr::geo

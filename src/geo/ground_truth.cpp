@@ -1,0 +1,25 @@
+#include "geo/ground_truth.hpp"
+
+namespace tvacr::geo {
+
+void GroundTruth::place(net::Ipv4Address address, const City& city, std::string ptr_name) {
+    const auto it = index_.find(address);
+    if (it != index_.end()) {
+        placements_[it->second] = Placement{address, &city, std::move(ptr_name)};
+        return;
+    }
+    index_[address] = placements_.size();
+    placements_.push_back(Placement{address, &city, std::move(ptr_name)});
+}
+
+const City* GroundTruth::city_of(net::Ipv4Address address) const {
+    const auto it = index_.find(address);
+    return it == index_.end() ? nullptr : placements_[it->second].city;
+}
+
+const std::string* GroundTruth::ptr_of(net::Ipv4Address address) const {
+    const auto it = index_.find(address);
+    return it == index_.end() ? nullptr : &placements_[it->second].ptr_name;
+}
+
+}  // namespace tvacr::geo

@@ -1,0 +1,39 @@
+// Physical ground truth of the simulated internet: where each server IP
+// actually sits. The geolocation *engines* never read this directly — they
+// observe only derived signals (database rows, RTTs, PTR names), exactly as
+// the paper's workflow does against the real internet. Tests compare engine
+// output against this truth.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/location.hpp"
+#include "net/address.hpp"
+
+namespace tvacr::geo {
+
+struct Placement {
+    net::Ipv4Address address;
+    const City* city = nullptr;
+    std::string ptr_name;  // reverse-DNS name, often carrying the IATA code
+};
+
+class GroundTruth {
+  public:
+    /// Places `address` in `city`. `ptr_label` customizes the PTR host part;
+    /// by default routers advertise "<label>-edge-N.<iata>.<operator>".
+    void place(net::Ipv4Address address, const City& city, std::string ptr_name);
+
+    [[nodiscard]] const City* city_of(net::Ipv4Address address) const;
+    [[nodiscard]] const std::string* ptr_of(net::Ipv4Address address) const;
+    [[nodiscard]] const std::vector<Placement>& placements() const noexcept { return placements_; }
+
+  private:
+    std::vector<Placement> placements_;
+    std::unordered_map<net::Ipv4Address, std::size_t> index_;
+};
+
+}  // namespace tvacr::geo

@@ -1,0 +1,45 @@
+#include "geo/ipdb.hpp"
+
+namespace tvacr::geo {
+
+void GeoIpDatabase::add_range(net::Ipv4Range range, const City& city) {
+    ranges_.push_back(Row{range, &city});
+}
+
+const City* GeoIpDatabase::lookup(net::Ipv4Address address) const {
+    const City* best = nullptr;
+    int best_prefix = -1;
+    for (const auto& row : ranges_) {
+        if (row.range.contains(address) && row.range.prefix_length > best_prefix) {
+            best = row.city;
+            best_prefix = row.range.prefix_length;
+        }
+    }
+    return best;
+}
+
+GeoIpDatabase derive_database(std::string name, const GroundTruth& truth, double error_rate,
+                              std::uint64_t seed) {
+    GeoIpDatabase db(std::move(name));
+    Rng rng(seed);
+    const auto& cities = known_cities();
+    for (const auto& placement : truth.placements()) {
+        const City* city = placement.city;
+        if (rng.chance(error_rate)) {
+            // Mislocate: pick a different city deterministically.
+            const City* wrong = city;
+            while (wrong == city) {
+                wrong = &cities[static_cast<std::size_t>(
+                    rng.uniform(0, static_cast<std::int64_t>(cities.size()) - 1))];
+            }
+            city = wrong;
+        }
+        // Databases publish /24 allocations, not host routes.
+        const net::Ipv4Range range{
+            net::Ipv4Address{placement.address.value() & 0xFFFFFF00U}, 24};
+        db.add_range(range, *city);
+    }
+    return db;
+}
+
+}  // namespace tvacr::geo

@@ -1,0 +1,46 @@
+// Range-based GeoIP databases in the style of MaxMind and IP2Location.
+//
+// The paper geolocates ACR endpoints with both commercial databases and
+// notes their "known limitations and inaccuracies"; we model that directly:
+// database instances are derived from ground truth with a configurable error
+// rate, so the multi-engine resolution workflow has real disagreements to
+// resolve.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/ground_truth.hpp"
+
+namespace tvacr::geo {
+
+class GeoIpDatabase {
+  public:
+    explicit GeoIpDatabase(std::string name) : name_(std::move(name)) {}
+
+    void add_range(net::Ipv4Range range, const City& city);
+    /// Longest-prefix match over the registered ranges.
+    [[nodiscard]] const City* lookup(net::Ipv4Address address) const;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
+
+  private:
+    struct Row {
+        net::Ipv4Range range;
+        const City* city;
+    };
+    std::string name_;
+    std::vector<Row> ranges_;
+};
+
+/// Builds a database from ground truth, mislocating a deterministic
+/// `error_rate` fraction of placements to a nearby-but-wrong city (the
+/// classic GeoIP failure: the operator's registration address, not the
+/// server's).
+[[nodiscard]] GeoIpDatabase derive_database(std::string name, const GroundTruth& truth,
+                                            double error_rate, std::uint64_t seed);
+
+}  // namespace tvacr::geo

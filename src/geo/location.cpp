@@ -1,0 +1,64 @@
+#include "geo/location.hpp"
+
+#include <cmath>
+
+namespace tvacr::geo {
+
+double haversine_km(const City& a, const City& b) {
+    constexpr double kEarthRadiusKm = 6371.0;
+    constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+    const double lat1 = a.latitude * kDegToRad;
+    const double lat2 = b.latitude * kDegToRad;
+    const double dlat = (b.latitude - a.latitude) * kDegToRad;
+    const double dlon = (b.longitude - a.longitude) * kDegToRad;
+    const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                     std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+    return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double min_rtt_ms(const City& a, const City& b) {
+    // Light in fibre ~ 200 km/ms one way; RTT doubles it. Add a 1.5x path
+    // stretch: real routes are not great circles.
+    const double km = haversine_km(a, b);
+    return 1.5 * 2.0 * km / 200.0;
+}
+
+const std::vector<City>& known_cities() {
+    static const std::vector<City> cities = {
+        {"London", "GB", "lon", 51.5074, -0.1278},
+        {"Amsterdam", "NL", "ams", 52.3676, 4.9041},
+        {"Frankfurt", "DE", "fra", 50.1109, 8.6821},
+        {"Paris", "FR", "par", 48.8566, 2.3522},
+        {"Dublin", "IE", "dub", 53.3498, -6.2603},
+        {"Madrid", "ES", "mad", 40.4168, -3.7038},
+        {"Stockholm", "SE", "sto", 59.3293, 18.0686},
+        {"New York", "US", "nyc", 40.7128, -74.0060},
+        {"Ashburn", "US", "iad", 39.0438, -77.4874},
+        {"Chicago", "US", "chi", 41.8781, -87.6298},
+        {"Dallas", "US", "dfw", 32.7767, -96.7970},
+        {"San Jose", "US", "sjc", 37.3382, -121.8863},
+        {"Seattle", "US", "sea", 47.6062, -122.3321},
+        {"Los Angeles", "US", "lax", 34.0522, -118.2437},
+        {"Tokyo", "JP", "tyo", 35.6762, 139.6503},
+        {"Singapore", "SG", "sin", 1.3521, 103.8198},
+        {"Sydney", "AU", "syd", -33.8688, 151.2093},
+        {"Sao Paulo", "BR", "gru", -23.5505, -46.6333},
+    };
+    return cities;
+}
+
+const City* find_city(std::string_view name) {
+    for (const auto& city : known_cities()) {
+        if (city.name == name) return &city;
+    }
+    return nullptr;
+}
+
+const City* find_city_by_iata(std::string_view iata) {
+    for (const auto& city : known_cities()) {
+        if (city.iata == iata) return &city;
+    }
+    return nullptr;
+}
+
+}  // namespace tvacr::geo

@@ -1,0 +1,33 @@
+// Cities and great-circle geometry for the geolocation engines.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tvacr::geo {
+
+struct City {
+    std::string name;          // "Amsterdam"
+    std::string country_code;  // "NL"
+    std::string iata;          // "ams" — appears in router PTR names
+    double latitude = 0.0;
+    double longitude = 0.0;
+
+    friend bool operator==(const City& a, const City& b) { return a.name == b.name; }
+};
+
+/// Great-circle distance in kilometres.
+[[nodiscard]] double haversine_km(const City& a, const City& b);
+
+/// Minimum round-trip time light needs through fibre between two cities
+/// (c_fibre ~ 2/3 c), in milliseconds.
+[[nodiscard]] double min_rtt_ms(const City& a, const City& b);
+
+/// Builtin city table used across the toolkit (probe sites + server sites).
+[[nodiscard]] const std::vector<City>& known_cities();
+[[nodiscard]] const City* find_city(std::string_view name);
+[[nodiscard]] const City* find_city_by_iata(std::string_view iata);
+
+}  // namespace tvacr::geo

@@ -1,0 +1,103 @@
+#include "geo/ripe_ipmap.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace tvacr::geo {
+
+std::string to_string(Engine engine) {
+    switch (engine) {
+        case Engine::kLatency: return "latency";
+        case Engine::kReverseDns: return "rdns";
+        case Engine::kRegistry: return "registry";
+    }
+    return "?";
+}
+
+const City* city_from_hostname(std::string_view hostname) {
+    for (const auto& label : split(hostname, '.')) {
+        // Codes appear as whole labels or '-'-separated tokens within one.
+        for (const auto& token : split(label, '-')) {
+            if (const City* city = find_city_by_iata(to_lower(token)); city != nullptr) {
+                return city;
+            }
+        }
+    }
+    return nullptr;
+}
+
+RipeIpMap::RipeIpMap(const GroundTruth& truth, std::vector<const City*> probe_cities,
+                     std::uint64_t seed)
+    : truth_(truth), probes_(std::move(probe_cities)), seed_(seed) {}
+
+void RipeIpMap::set_registry_entry(net::Ipv4Address address, const City& city) {
+    registry_.emplace_back(address, &city);
+}
+
+std::vector<RipeIpMap::ProbeRtt> RipeIpMap::measure(net::Ipv4Address address) const {
+    std::vector<ProbeRtt> out;
+    const City* true_city = truth_.city_of(address);
+    if (true_city == nullptr) return out;
+    Rng rng(derive_seed(seed_, address.value()));
+    for (const City* probe : probes_) {
+        // Physical floor plus queueing noise (never below the floor).
+        const double floor = min_rtt_ms(*probe, *true_city);
+        out.push_back(ProbeRtt{probe, floor + 0.4 + rng.uniform01() * 3.0});
+    }
+    return out;
+}
+
+EngineVerdict RipeIpMap::latency_engine(net::Ipv4Address address) const {
+    EngineVerdict verdict{Engine::kLatency, nullptr, 0.0};
+    const auto rtts = measure(address);
+    if (rtts.empty()) return verdict;
+    const auto best =
+        std::min_element(rtts.begin(), rtts.end(),
+                         [](const ProbeRtt& a, const ProbeRtt& b) { return a.rtt_ms < b.rtt_ms; });
+    // A probe within ~5 ms RTT bounds the target to ~330 km of fibre — close
+    // enough to assert the probe's metro area, matching IPmap's single-radius
+    // behaviour. Farther than that, the engine abstains.
+    if (best->rtt_ms > 5.0) return verdict;
+    verdict.city = best->probe;
+    verdict.score = 1.0 - best->rtt_ms / 5.0;
+    return verdict;
+}
+
+EngineVerdict RipeIpMap::rdns_engine(net::Ipv4Address address) const {
+    EngineVerdict verdict{Engine::kReverseDns, nullptr, 0.0};
+    const std::string* ptr = truth_.ptr_of(address);
+    if (ptr == nullptr) return verdict;
+    verdict.city = city_from_hostname(*ptr);
+    verdict.score = verdict.city != nullptr ? 0.8 : 0.0;
+    return verdict;
+}
+
+EngineVerdict RipeIpMap::registry_engine(net::Ipv4Address address) const {
+    EngineVerdict verdict{Engine::kRegistry, nullptr, 0.0};
+    for (const auto& [ip, city] : registry_) {
+        if (ip == address) {
+            verdict.city = city;
+            verdict.score = 0.5;
+            return verdict;
+        }
+    }
+    return verdict;
+}
+
+IpMapResult RipeIpMap::locate(net::Ipv4Address address) const {
+    IpMapResult result;
+    result.verdicts.push_back(latency_engine(address));
+    result.verdicts.push_back(rdns_engine(address));
+    result.verdicts.push_back(registry_engine(address));
+    for (const auto& verdict : result.verdicts) {
+        if (verdict.city != nullptr) {
+            result.final_city = verdict.city;
+            result.deciding_engine = verdict.engine;
+            break;  // precedence: latency > rdns > registry
+        }
+    }
+    return result;
+}
+
+}  // namespace tvacr::geo

@@ -1,0 +1,73 @@
+// RIPE-IPmap-style multi-engine geolocation (paper §4.1):
+//  (1) a latency engine using anchors/probes with known locations — an IP
+//      cannot be farther from a probe than its RTT allows (speed of light in
+//      fibre), so low-RTT probes pin the city;
+//  (2) a reverse-DNS engine parsing geographic codes out of PTR records;
+//  (3) a registry engine (whois-style), modelled as a possibly-stale table.
+// The combined verdict prefers latency, then rDNS, then registry.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/ground_truth.hpp"
+
+namespace tvacr::geo {
+
+enum class Engine { kLatency, kReverseDns, kRegistry };
+
+[[nodiscard]] std::string to_string(Engine engine);
+
+struct EngineVerdict {
+    Engine engine;
+    const City* city = nullptr;  // nullptr: engine abstained
+    double score = 0.0;          // engine-specific confidence
+};
+
+struct IpMapResult {
+    std::vector<EngineVerdict> verdicts;
+    const City* final_city = nullptr;
+    Engine deciding_engine = Engine::kRegistry;
+};
+
+class RipeIpMap {
+  public:
+    /// `probe_cities` are the anchor sites with known locations. The RTT
+    /// measurements are derived from ground truth plus noise — the engine
+    /// itself never reads the truth table.
+    RipeIpMap(const GroundTruth& truth, std::vector<const City*> probe_cities,
+              std::uint64_t seed);
+
+    /// Overrides a registry row (models stale whois data).
+    void set_registry_entry(net::Ipv4Address address, const City& city);
+
+    [[nodiscard]] IpMapResult locate(net::Ipv4Address address) const;
+
+    /// The latency engine alone: city of the lowest-RTT probe whose RTT is
+    /// physically consistent; nullptr when every probe is too far to decide.
+    [[nodiscard]] EngineVerdict latency_engine(net::Ipv4Address address) const;
+    /// The rDNS engine alone: IATA code extracted from the PTR name.
+    [[nodiscard]] EngineVerdict rdns_engine(net::Ipv4Address address) const;
+    [[nodiscard]] EngineVerdict registry_engine(net::Ipv4Address address) const;
+
+    /// Raw probe measurements (exposed for reports and tests).
+    struct ProbeRtt {
+        const City* probe;
+        double rtt_ms;
+    };
+    [[nodiscard]] std::vector<ProbeRtt> measure(net::Ipv4Address address) const;
+
+  private:
+    const GroundTruth& truth_;
+    std::vector<const City*> probes_;
+    std::uint64_t seed_;
+    std::vector<std::pair<net::Ipv4Address, const City*>> registry_;
+};
+
+/// Extracts a city from a PTR-style name by scanning labels for IATA codes
+/// ("ams-edge-1.alphonso.tv" -> Amsterdam). Shared with the analysis layer.
+[[nodiscard]] const City* city_from_hostname(std::string_view hostname);
+
+}  // namespace tvacr::geo

@@ -1,0 +1,40 @@
+#include "geo/traceroute.hpp"
+
+namespace tvacr::geo {
+
+std::vector<Hop> Traceroute::run(const City& vantage, net::Ipv4Address destination) const {
+    std::vector<Hop> hops;
+    Rng rng(derive_seed(seed_, destination.value() ^ splitmix64(vantage.iata[0])));
+
+    const City* target_city = truth_.city_of(destination);
+    const double total_rtt =
+        target_city != nullptr ? min_rtt_ms(vantage, *target_city) + rng.uniform01() * 4.0 : 80.0;
+
+    // Access + ISP core in the vantage city.
+    int ttl = 1;
+    hops.push_back(Hop{ttl++, net::Ipv4Address(10, 0, 0, 1), "gw.customer.example.net",
+                       0.8 + rng.uniform01()});
+    hops.push_back(Hop{ttl++,
+                       net::Ipv4Address(62, 30, static_cast<std::uint8_t>(rng.uniform(1, 250)), 1),
+                       "core-1." + vantage.iata + ".transit.example.net",
+                       2.0 + rng.uniform01() * 2.0});
+
+    // Long-haul hop appears at a fraction of the total path RTT.
+    if (target_city != nullptr && !(*target_city == vantage)) {
+        hops.push_back(Hop{ttl++,
+                           net::Ipv4Address(80, 81, static_cast<std::uint8_t>(rng.uniform(1, 250)), 9),
+                           "xe-0." + target_city->iata + ".ix.example.net",
+                           total_rtt * 0.85 + rng.uniform01()});
+    }
+
+    // Destination edge router, PTR from ground truth when registered.
+    Hop edge;
+    edge.ttl = ttl++;
+    edge.address = destination;
+    edge.rtt_ms = total_rtt + 0.5 + rng.uniform01();
+    if (const auto* ptr = truth_.ptr_of(destination); ptr != nullptr) edge.ptr_name = *ptr;
+    hops.push_back(edge);
+    return hops;
+}
+
+}  // namespace tvacr::geo

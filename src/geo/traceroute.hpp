@@ -1,0 +1,36 @@
+// Simulated traceroute: the hop list a measurement host would see towards a
+// destination, with router PTR names carrying the city codes the rDNS
+// engine parses (the paper: "first perform traceroute from a location in
+// the US or UK, then use RIPE IPmap for geolocation").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/ground_truth.hpp"
+
+namespace tvacr::geo {
+
+struct Hop {
+    int ttl = 0;
+    net::Ipv4Address address;
+    std::string ptr_name;  // empty when the router does not answer rDNS
+    double rtt_ms = 0.0;
+};
+
+class Traceroute {
+  public:
+    Traceroute(const GroundTruth& truth, std::uint64_t seed) : truth_(truth), seed_(seed) {}
+
+    /// Runs from a vantage city to a destination address. The path goes
+    /// vantage -> (IXP) -> destination city edge -> host, with per-hop RTTs
+    /// consistent with fibre distance.
+    [[nodiscard]] std::vector<Hop> run(const City& vantage, net::Ipv4Address destination) const;
+
+  private:
+    const GroundTruth& truth_;
+    std::uint64_t seed_;
+};
+
+}  // namespace tvacr::geo

@@ -1,0 +1,91 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "common/strings.hpp"
+
+namespace tvacr::net {
+
+MacAddress MacAddress::local(std::uint64_t id) {
+    std::array<std::uint8_t, 6> octets{};
+    // 0x02 = locally administered, unicast.
+    octets[0] = 0x02;
+    octets[1] = static_cast<std::uint8_t>(id >> 32);
+    octets[2] = static_cast<std::uint8_t>(id >> 24);
+    octets[3] = static_cast<std::uint8_t>(id >> 16);
+    octets[4] = static_cast<std::uint8_t>(id >> 8);
+    octets[5] = static_cast<std::uint8_t>(id);
+    return MacAddress{octets};
+}
+
+Result<MacAddress> MacAddress::parse(std::string_view text) {
+    const auto parts = split(text, ':');
+    if (parts.size() != 6) return make_error("MacAddress: expected 6 colon-separated octets");
+    std::array<std::uint8_t, 6> octets{};
+    for (std::size_t i = 0; i < 6; ++i) {
+        if (parts[i].size() != 2) return make_error("MacAddress: octet must be 2 hex digits");
+        auto bytes = from_hex(parts[i]);
+        if (!bytes) return bytes.error();
+        octets[i] = bytes.value()[0];
+    }
+    return MacAddress{octets};
+}
+
+std::string MacAddress::to_string() const {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                  octets_[2], octets_[3], octets_[4], octets_[5]);
+    return buf;
+}
+
+Result<Ipv4Address> Ipv4Address::parse(std::string_view dotted) {
+    const auto parts = split(dotted, '.');
+    if (parts.size() != 4) return make_error("Ipv4Address: expected 4 dotted octets");
+    std::uint32_t value = 0;
+    for (const auto& part : parts) {
+        if (part.empty() || part.size() > 3) return make_error("Ipv4Address: bad octet");
+        int octet = 0;
+        for (const char c : part) {
+            if (c < '0' || c > '9') return make_error("Ipv4Address: non-digit octet");
+            octet = octet * 10 + (c - '0');
+        }
+        if (octet > 255) return make_error("Ipv4Address: octet out of range");
+        value = (value << 8) | static_cast<std::uint32_t>(octet);
+    }
+    return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+    const auto o = octets();
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", o[0], o[1], o[2], o[3]);
+    return buf;
+}
+
+bool Ipv4Range::contains(Ipv4Address address) const noexcept {
+    if (prefix_length <= 0) return true;
+    const std::uint32_t mask =
+        prefix_length >= 32 ? ~0U : ~((1U << (32 - prefix_length)) - 1);
+    return (address.value() & mask) == (base.value() & mask);
+}
+
+std::string Ipv4Range::to_string() const {
+    return base.to_string() + "/" + std::to_string(prefix_length);
+}
+
+Result<Ipv4Range> Ipv4Range::parse(std::string_view cidr) {
+    const auto slash = cidr.find('/');
+    if (slash == std::string_view::npos) return make_error("Ipv4Range: missing '/'");
+    auto base = Ipv4Address::parse(cidr.substr(0, slash));
+    if (!base) return base.error();
+    int prefix = 0;
+    for (const char c : cidr.substr(slash + 1)) {
+        if (c < '0' || c > '9') return make_error("Ipv4Range: bad prefix length");
+        prefix = prefix * 10 + (c - '0');
+    }
+    if (prefix > 32) return make_error("Ipv4Range: prefix length > 32");
+    return Ipv4Range{base.value(), prefix};
+}
+
+}  // namespace tvacr::net

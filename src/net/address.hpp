@@ -1,0 +1,96 @@
+// Link-layer and network-layer addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace tvacr::net {
+
+/// 48-bit IEEE MAC address.
+class MacAddress {
+  public:
+    constexpr MacAddress() = default;
+    explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+    /// Builds a locally-administered unicast MAC from a 46-bit value (used to
+    /// hand out distinct MACs to simulated nodes).
+    [[nodiscard]] static MacAddress local(std::uint64_t id);
+    [[nodiscard]] static constexpr MacAddress broadcast() {
+        return MacAddress{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+    }
+
+    [[nodiscard]] Result<MacAddress> static parse(std::string_view text);
+
+    [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const noexcept {
+        return octets_;
+    }
+    [[nodiscard]] std::string to_string() const;
+    [[nodiscard]] bool is_broadcast() const noexcept { return *this == broadcast(); }
+
+    constexpr auto operator<=>(const MacAddress&) const = default;
+
+  private:
+    std::array<std::uint8_t, 6> octets_ = {};
+};
+
+/// IPv4 address stored in host order; serialized big-endian on the wire.
+class Ipv4Address {
+  public:
+    constexpr Ipv4Address() = default;
+    explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+    constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+        : value_((static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+                 (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+    [[nodiscard]] static Result<Ipv4Address> parse(std::string_view dotted);
+
+    [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+    [[nodiscard]] std::string to_string() const;
+
+    /// Octets for PTR-style rendering (in-addr.arpa is reversed by caller).
+    [[nodiscard]] constexpr std::array<std::uint8_t, 4> octets() const noexcept {
+        return {static_cast<std::uint8_t>(value_ >> 24), static_cast<std::uint8_t>(value_ >> 16),
+                static_cast<std::uint8_t>(value_ >> 8), static_cast<std::uint8_t>(value_)};
+    }
+
+    constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+  private:
+    std::uint32_t value_ = 0;
+};
+
+/// CIDR block, e.g. 203.0.113.0/24. Used by the geolocation range databases.
+struct Ipv4Range {
+    Ipv4Address base;
+    int prefix_length = 32;
+
+    [[nodiscard]] bool contains(Ipv4Address address) const noexcept;
+    [[nodiscard]] std::string to_string() const;
+    [[nodiscard]] static Result<Ipv4Range> parse(std::string_view cidr);
+
+    friend bool operator==(const Ipv4Range&, const Ipv4Range&) = default;
+};
+
+}  // namespace tvacr::net
+
+template <>
+struct std::hash<tvacr::net::Ipv4Address> {
+    std::size_t operator()(const tvacr::net::Ipv4Address& a) const noexcept {
+        return std::hash<std::uint32_t>{}(a.value());
+    }
+};
+
+template <>
+struct std::hash<tvacr::net::MacAddress> {
+    std::size_t operator()(const tvacr::net::MacAddress& m) const noexcept {
+        std::uint64_t v = 0;
+        for (const auto o : m.octets()) v = (v << 8) | o;
+        return std::hash<std::uint64_t>{}(v);
+    }
+};

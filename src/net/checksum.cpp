@@ -1,0 +1,43 @@
+#include "net/checksum.hpp"
+
+namespace tvacr::net {
+
+void ChecksumAccumulator::add(BytesView data) noexcept {
+    std::size_t i = 0;
+    for (; i + 1 < data.size(); i += 2) {
+        sum_ += static_cast<std::uint16_t>((data[i] << 8) | data[i + 1]);
+    }
+    if (i < data.size()) sum_ += static_cast<std::uint16_t>(data[i] << 8);  // odd trailing byte
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t word) noexcept { sum_ += word; }
+
+void ChecksumAccumulator::add_u32(std::uint32_t word) noexcept {
+    sum_ += word >> 16;
+    sum_ += word & 0xFFFF;
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+    std::uint64_t sum = sum_;
+    while ((sum >> 16) != 0) sum = (sum & 0xFFFF) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t internet_checksum(BytesView data) noexcept {
+    ChecksumAccumulator acc;
+    acc.add(data);
+    return acc.finish();
+}
+
+std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst, std::uint8_t protocol,
+                                 BytesView segment) noexcept {
+    ChecksumAccumulator acc;
+    acc.add_u32(src.value());
+    acc.add_u32(dst.value());
+    acc.add_u16(protocol);
+    acc.add_u16(static_cast<std::uint16_t>(segment.size()));
+    acc.add(segment);
+    return acc.finish();
+}
+
+}  // namespace tvacr::net

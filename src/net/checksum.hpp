@@ -1,0 +1,33 @@
+// RFC 1071 internet checksum, used by the IPv4/TCP/UDP header writers so the
+// emitted pcaps carry valid checksums (Wireshark shows them green).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace tvacr::net {
+
+/// One's-complement sum accumulator over 16-bit big-endian words.
+class ChecksumAccumulator {
+  public:
+    void add(BytesView data) noexcept;
+    void add_u16(std::uint16_t word) noexcept;
+    void add_u32(std::uint32_t word) noexcept;
+
+    /// Finalized one's-complement checksum.
+    [[nodiscard]] std::uint16_t finish() const noexcept;
+
+  private:
+    std::uint64_t sum_ = 0;
+};
+
+/// Checksum of a standalone buffer (IPv4 header checksum).
+[[nodiscard]] std::uint16_t internet_checksum(BytesView data) noexcept;
+
+/// TCP/UDP checksum with the IPv4 pseudo-header prepended.
+[[nodiscard]] std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst,
+                                               std::uint8_t protocol, BytesView segment) noexcept;
+
+}  // namespace tvacr::net

@@ -1,0 +1,75 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace tvacr::net {
+
+FiveTuple FiveTuple::canonical() const noexcept {
+    const bool swap = (destination.value() < source.value()) ||
+                      (destination == source && destination_port < source_port);
+    if (!swap) return *this;
+    FiveTuple flipped = *this;
+    std::swap(flipped.source, flipped.destination);
+    std::swap(flipped.source_port, flipped.destination_port);
+    return flipped;
+}
+
+std::string FiveTuple::to_string() const {
+    const char* proto = protocol == IpProtocol::kTcp   ? "tcp"
+                        : protocol == IpProtocol::kUdp ? "udp"
+                                                       : "ip";
+    return std::string(proto) + " " + source.to_string() + ":" + std::to_string(source_port) +
+           " <-> " + destination.to_string() + ":" + std::to_string(destination_port);
+}
+
+Result<FiveTuple> flow_of(const ParsedPacket& packet) {
+    if (!packet.ip) return make_error("flow_of: non-IP frame");
+    FiveTuple tuple;
+    tuple.source = packet.ip->source;
+    tuple.destination = packet.ip->destination;
+    tuple.protocol = packet.ip->protocol;
+    if (packet.tcp) {
+        tuple.source_port = packet.tcp->source_port;
+        tuple.destination_port = packet.tcp->destination_port;
+    } else if (packet.udp) {
+        tuple.source_port = packet.udp->source_port;
+        tuple.destination_port = packet.udp->destination_port;
+    }
+    return tuple;
+}
+
+std::size_t FlowTable::TupleHash::operator()(const FiveTuple& t) const noexcept {
+    std::uint64_t h = t.source.value();
+    h = splitmix64(h ^ t.destination.value());
+    h = splitmix64(h ^ (static_cast<std::uint64_t>(t.source_port) << 24) ^
+                   (static_cast<std::uint64_t>(t.destination_port) << 8) ^
+                   static_cast<std::uint64_t>(t.protocol));
+    return static_cast<std::size_t>(h);
+}
+
+void FlowTable::add(const ParsedPacket& packet) {
+    auto key = flow_of(packet);
+    if (!key) return;  // non-IP frames are not flow-tracked
+    auto& stats = flows_[key.value().canonical()];
+    if (stats.packets == 0) stats.first_seen = packet.timestamp;
+    stats.packets += 1;
+    stats.bytes += packet.frame_size;
+    stats.payload_bytes += packet.payload.size();
+    stats.last_seen = packet.timestamp;
+}
+
+const FlowStats* FlowTable::find(const FiveTuple& key) const {
+    const auto it = flows_.find(key.canonical());
+    return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<FiveTuple, FlowStats>> FlowTable::sorted_by_bytes() const {
+    std::vector<std::pair<FiveTuple, FlowStats>> out(flows_.begin(), flows_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second.bytes > b.second.bytes; });
+    return out;
+}
+
+}  // namespace tvacr::net

@@ -1,0 +1,59 @@
+// Transport flows: 5-tuple keys and a flow table used by the analysis layer
+// to aggregate captured traffic per remote endpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/packet.hpp"
+
+namespace tvacr::net {
+
+struct FiveTuple {
+    Ipv4Address source;
+    Ipv4Address destination;
+    std::uint16_t source_port = 0;
+    std::uint16_t destination_port = 0;
+    IpProtocol protocol = IpProtocol::kTcp;
+
+    /// Direction-insensitive key: (A,B) and (B,A) map to the same flow, with
+    /// the lexicographically smaller endpoint first.
+    [[nodiscard]] FiveTuple canonical() const noexcept;
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+};
+
+/// Extracts the 5-tuple from a parsed packet; nullopt-like failure is
+/// expressed as Result since non-IP frames have no flow identity.
+[[nodiscard]] Result<FiveTuple> flow_of(const ParsedPacket& packet);
+
+struct FlowStats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;          // frame bytes, both directions
+    std::uint64_t payload_bytes = 0;  // transport payload, both directions
+    SimTime first_seen;
+    SimTime last_seen;
+};
+
+/// Accumulates per-flow statistics over a capture.
+class FlowTable {
+  public:
+    void add(const ParsedPacket& packet);
+
+    [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }
+    [[nodiscard]] const FlowStats* find(const FiveTuple& key) const;
+    [[nodiscard]] std::vector<std::pair<FiveTuple, FlowStats>> sorted_by_bytes() const;
+
+  private:
+    struct TupleHash {
+        std::size_t operator()(const FiveTuple& t) const noexcept;
+    };
+    std::unordered_map<FiveTuple, FlowStats, TupleHash> flows_;
+};
+
+}  // namespace tvacr::net

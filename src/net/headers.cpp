@@ -1,0 +1,159 @@
+#include "net/headers.hpp"
+
+#include "net/checksum.hpp"
+
+namespace tvacr::net {
+
+void EthernetHeader::encode(ByteWriter& out) const {
+    out.raw(BytesView{destination.octets()});
+    out.raw(BytesView{source.octets()});
+    out.u16(static_cast<std::uint16_t>(ether_type));
+}
+
+Result<EthernetHeader> EthernetHeader::decode(ByteReader& in) {
+    auto dst = in.raw(6);
+    if (!dst) return dst.error();
+    auto src = in.raw(6);
+    if (!src) return src.error();
+    auto type = in.u16();
+    if (!type) return type.error();
+
+    EthernetHeader header;
+    std::array<std::uint8_t, 6> octets{};
+    std::copy(dst.value().begin(), dst.value().end(), octets.begin());
+    header.destination = MacAddress{octets};
+    std::copy(src.value().begin(), src.value().end(), octets.begin());
+    header.source = MacAddress{octets};
+    header.ether_type = static_cast<EtherType>(type.value());
+    return header;
+}
+
+void Ipv4Header::encode(ByteWriter& out) const {
+    const std::size_t start = out.size();
+    out.u8(0x45);  // version 4, IHL 5
+    out.u8(dscp);
+    out.u16(total_length);
+    out.u16(identification);
+    out.u16(0x4000);  // flags: Don't Fragment; fragment offset 0
+    out.u8(ttl);
+    out.u8(static_cast<std::uint8_t>(protocol));
+    const std::size_t checksum_offset = out.size();
+    out.u16(0);  // checksum placeholder
+    out.u32(source.value());
+    out.u32(destination.value());
+    const std::uint16_t checksum =
+        internet_checksum(out.view().subspan(start, kSize));
+    out.patch_u16(checksum_offset, checksum);
+}
+
+Result<Ipv4Header> Ipv4Header::decode(ByteReader& in) {
+    const std::size_t start = in.position();
+    auto version_ihl = in.u8();
+    if (!version_ihl) return version_ihl.error();
+    if (version_ihl.value() != 0x45) return make_error("Ipv4Header: unsupported version/IHL");
+
+    Ipv4Header header;
+    auto dscp = in.u8();
+    if (!dscp) return dscp.error();
+    header.dscp = dscp.value();
+    auto total = in.u16();
+    if (!total) return total.error();
+    header.total_length = total.value();
+    auto ident = in.u16();
+    if (!ident) return ident.error();
+    header.identification = ident.value();
+    if (auto flags = in.u16(); !flags) return flags.error();
+    auto ttl = in.u8();
+    if (!ttl) return ttl.error();
+    header.ttl = ttl.value();
+    auto proto = in.u8();
+    if (!proto) return proto.error();
+    header.protocol = static_cast<IpProtocol>(proto.value());
+    auto checksum = in.u16();
+    if (!checksum) return checksum.error();
+    header.header_checksum = checksum.value();
+    auto src = in.u32();
+    if (!src) return src.error();
+    header.source = Ipv4Address{src.value()};
+    auto dst = in.u32();
+    if (!dst) return dst.error();
+    header.destination = Ipv4Address{dst.value()};
+
+    // Verify header checksum: the one's-complement sum over the header,
+    // including the transmitted checksum field, must be zero.
+    if (internet_checksum(in.underlying().subspan(start, kSize)) != 0) {
+        return make_error("Ipv4Header: bad header checksum");
+    }
+    return header;
+}
+
+void TcpHeader::encode(ByteWriter& out) const {
+    out.u16(source_port);
+    out.u16(destination_port);
+    out.u32(sequence);
+    out.u32(acknowledgment);
+    out.u8(0x50);  // data offset 5 words, no options
+    out.u8(flags);
+    out.u16(window);
+    out.u16(checksum);
+    out.u16(0);  // urgent pointer
+}
+
+Result<TcpHeader> TcpHeader::decode(ByteReader& in) {
+    TcpHeader header;
+    auto sport = in.u16();
+    if (!sport) return sport.error();
+    header.source_port = sport.value();
+    auto dport = in.u16();
+    if (!dport) return dport.error();
+    header.destination_port = dport.value();
+    auto seq = in.u32();
+    if (!seq) return seq.error();
+    header.sequence = seq.value();
+    auto ack = in.u32();
+    if (!ack) return ack.error();
+    header.acknowledgment = ack.value();
+    auto offset = in.u8();
+    if (!offset) return offset.error();
+    const std::size_t header_words = offset.value() >> 4;
+    if (header_words < 5) return make_error("TcpHeader: data offset < 5");
+    auto flags = in.u8();
+    if (!flags) return flags.error();
+    header.flags = flags.value();
+    auto window = in.u16();
+    if (!window) return window.error();
+    header.window = window.value();
+    auto checksum = in.u16();
+    if (!checksum) return checksum.error();
+    header.checksum = checksum.value();
+    if (auto urgent = in.u16(); !urgent) return urgent.error();
+    // Skip options if the sender used a longer header.
+    if (auto skipped = in.skip((header_words - 5) * 4); !skipped) return skipped.error();
+    return header;
+}
+
+void UdpHeader::encode(ByteWriter& out) const {
+    out.u16(source_port);
+    out.u16(destination_port);
+    out.u16(length);
+    out.u16(checksum);
+}
+
+Result<UdpHeader> UdpHeader::decode(ByteReader& in) {
+    UdpHeader header;
+    auto sport = in.u16();
+    if (!sport) return sport.error();
+    header.source_port = sport.value();
+    auto dport = in.u16();
+    if (!dport) return dport.error();
+    header.destination_port = dport.value();
+    auto length = in.u16();
+    if (!length) return length.error();
+    header.length = length.value();
+    auto checksum = in.u16();
+    if (!checksum) return checksum.error();
+    header.checksum = checksum.value();
+    return header;
+}
+
+}  // namespace tvacr::net

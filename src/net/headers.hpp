@@ -1,0 +1,100 @@
+// Wire-format headers: Ethernet II, IPv4, TCP, UDP.
+//
+// These serialize to genuine on-the-wire layouts so the capture files the
+// simulator produces are ordinary pcaps, and the analysis layer is a real
+// packet-trace tool rather than a bespoke in-memory format.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace tvacr::net {
+
+enum class EtherType : std::uint16_t {
+    kIpv4 = 0x0800,
+    kArp = 0x0806,
+};
+
+enum class IpProtocol : std::uint8_t {
+    kIcmp = 1,
+    kTcp = 6,
+    kUdp = 17,
+};
+
+struct EthernetHeader {
+    static constexpr std::size_t kSize = 14;
+
+    MacAddress destination;
+    MacAddress source;
+    EtherType ether_type = EtherType::kIpv4;
+
+    void encode(ByteWriter& out) const;
+    [[nodiscard]] static Result<EthernetHeader> decode(ByteReader& in);
+
+    friend bool operator==(const EthernetHeader&, const EthernetHeader&) = default;
+};
+
+struct Ipv4Header {
+    static constexpr std::size_t kSize = 20;  // we never emit options
+
+    std::uint8_t dscp = 0;
+    std::uint16_t total_length = 0;  // header + payload, filled by builder
+    std::uint16_t identification = 0;
+    std::uint8_t ttl = 64;
+    IpProtocol protocol = IpProtocol::kTcp;
+    Ipv4Address source;
+    Ipv4Address destination;
+    std::uint16_t header_checksum = 0;  // computed on encode, verified on decode
+
+    /// Encodes with a freshly computed header checksum.
+    void encode(ByteWriter& out) const;
+    [[nodiscard]] static Result<Ipv4Header> decode(ByteReader& in);
+
+    friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+/// TCP flag bits as they appear in byte 13 of the header.
+struct TcpFlags {
+    static constexpr std::uint8_t kFin = 0x01;
+    static constexpr std::uint8_t kSyn = 0x02;
+    static constexpr std::uint8_t kRst = 0x04;
+    static constexpr std::uint8_t kPsh = 0x08;
+    static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct TcpHeader {
+    static constexpr std::size_t kSize = 20;  // no options
+
+    std::uint16_t source_port = 0;
+    std::uint16_t destination_port = 0;
+    std::uint32_t sequence = 0;
+    std::uint32_t acknowledgment = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t window = 65535;
+    std::uint16_t checksum = 0;  // filled by builder over the pseudo-header
+
+    void encode(ByteWriter& out) const;
+    [[nodiscard]] static Result<TcpHeader> decode(ByteReader& in);
+
+    [[nodiscard]] bool has(std::uint8_t flag) const noexcept { return (flags & flag) != 0; }
+
+    friend bool operator==(const TcpHeader&, const TcpHeader&) = default;
+};
+
+struct UdpHeader {
+    static constexpr std::size_t kSize = 8;
+
+    std::uint16_t source_port = 0;
+    std::uint16_t destination_port = 0;
+    std::uint16_t length = 0;  // header + payload, filled by builder
+    std::uint16_t checksum = 0;
+
+    void encode(ByteWriter& out) const;
+    [[nodiscard]] static Result<UdpHeader> decode(ByteReader& in);
+
+    friend bool operator==(const UdpHeader&, const UdpHeader&) = default;
+};
+
+}  // namespace tvacr::net

@@ -1,0 +1,129 @@
+#include "net/packet.hpp"
+
+#include "net/checksum.hpp"
+
+namespace tvacr::net {
+
+Result<ParsedPacket> parse_packet(const Packet& packet) {
+    ByteReader reader(packet.data);
+    ParsedPacket out;
+    out.timestamp = packet.timestamp;
+    out.frame_size = packet.data.size();
+
+    auto eth = EthernetHeader::decode(reader);
+    if (!eth) return eth.error();
+    out.ethernet = eth.value();
+    if (out.ethernet.ether_type != EtherType::kIpv4) return out;  // non-IP frame: L2 only
+
+    const std::size_t ip_start = reader.position();
+    auto ip = Ipv4Header::decode(reader);
+    if (!ip) return ip.error();
+    out.ip = ip.value();
+
+    if (ip.value().total_length < Ipv4Header::kSize) {
+        return make_error("parse_packet: IPv4 total_length shorter than header");
+    }
+    const std::size_t ip_payload_len = ip.value().total_length - Ipv4Header::kSize;
+    if (reader.remaining() < ip_payload_len) {
+        return make_error("parse_packet: truncated IPv4 payload");
+    }
+
+    const std::size_t transport_start = reader.position();
+    switch (ip.value().protocol) {
+        case IpProtocol::kTcp: {
+            auto tcp = TcpHeader::decode(reader);
+            if (!tcp) return tcp.error();
+            out.tcp = tcp.value();
+            const std::size_t header_len = reader.position() - transport_start;
+            auto payload = reader.raw(ip_payload_len - header_len);
+            if (!payload) return payload.error();
+            out.payload = std::move(payload).value();
+            break;
+        }
+        case IpProtocol::kUdp: {
+            auto udp = UdpHeader::decode(reader);
+            if (!udp) return udp.error();
+            out.udp = udp.value();
+            if (udp.value().length < UdpHeader::kSize) {
+                return make_error("parse_packet: UDP length shorter than header");
+            }
+            auto payload = reader.raw(udp.value().length - UdpHeader::kSize);
+            if (!payload) return payload.error();
+            out.payload = std::move(payload).value();
+            break;
+        }
+        default:
+            // Unknown transport: keep the raw IP payload for byte accounting.
+            auto payload = reader.raw(ip_payload_len);
+            if (!payload) return payload.error();
+            out.payload = std::move(payload).value();
+            break;
+    }
+    (void)ip_start;
+    return out;
+}
+
+Packet FrameBuilder::tcp(SimTime timestamp, Endpoint source, Endpoint destination,
+                         std::uint32_t sequence, std::uint32_t acknowledgment, std::uint8_t flags,
+                         BytesView payload) const {
+    // Build the TCP segment first so its checksum can cover the payload.
+    TcpHeader tcp_header;
+    tcp_header.source_port = source.port;
+    tcp_header.destination_port = destination.port;
+    tcp_header.sequence = sequence;
+    tcp_header.acknowledgment = acknowledgment;
+    tcp_header.flags = flags;
+
+    ByteWriter segment(TcpHeader::kSize + payload.size());
+    tcp_header.encode(segment);
+    segment.raw(payload);
+    const std::uint16_t checksum =
+        transport_checksum(source.address, destination.address,
+                           static_cast<std::uint8_t>(IpProtocol::kTcp), segment.view());
+    segment.patch_u16(16, checksum);  // checksum lives at offset 16 of the TCP header
+
+    Ipv4Header ip_header;
+    ip_header.protocol = IpProtocol::kTcp;
+    ip_header.source = source.address;
+    ip_header.destination = destination.address;
+    ip_header.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + segment.size());
+    ip_header.identification = static_cast<std::uint16_t>(sequence ^ (sequence >> 16));
+
+    ByteWriter frame(EthernetHeader::kSize + ip_header.total_length);
+    EthernetHeader eth{destination_mac_, source_mac_, EtherType::kIpv4};
+    eth.encode(frame);
+    ip_header.encode(frame);
+    frame.raw(segment.view());
+    return Packet{timestamp, std::move(frame).take()};
+}
+
+Packet FrameBuilder::udp(SimTime timestamp, Endpoint source, Endpoint destination,
+                         BytesView payload) const {
+    UdpHeader udp_header;
+    udp_header.source_port = source.port;
+    udp_header.destination_port = destination.port;
+    udp_header.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+
+    ByteWriter datagram(UdpHeader::kSize + payload.size());
+    udp_header.encode(datagram);
+    datagram.raw(payload);
+    const std::uint16_t checksum =
+        transport_checksum(source.address, destination.address,
+                           static_cast<std::uint8_t>(IpProtocol::kUdp), datagram.view());
+    datagram.patch_u16(6, checksum == 0 ? 0xFFFF : checksum);  // 0 means "no checksum" in UDP
+
+    Ipv4Header ip_header;
+    ip_header.protocol = IpProtocol::kUdp;
+    ip_header.source = source.address;
+    ip_header.destination = destination.address;
+    ip_header.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + datagram.size());
+
+    ByteWriter frame(EthernetHeader::kSize + ip_header.total_length);
+    EthernetHeader eth{destination_mac_, source_mac_, EtherType::kIpv4};
+    eth.encode(frame);
+    ip_header.encode(frame);
+    frame.raw(datagram.view());
+    return Packet{timestamp, std::move(frame).take()};
+}
+
+}  // namespace tvacr::net

@@ -1,0 +1,68 @@
+// Captured packets: raw frame bytes + capture timestamp, plus a parsed view
+// and builders that compose full frames with correct lengths and checksums.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "net/headers.hpp"
+
+namespace tvacr::net {
+
+/// A frame as seen by the capture tap: opaque bytes with a timestamp.
+struct Packet {
+    SimTime timestamp;
+    Bytes data;
+
+    [[nodiscard]] std::size_t size() const noexcept { return data.size(); }
+};
+
+/// Decoded layers of a frame. Transport payload is copied out (frames are
+/// small); absent layers are nullopt (e.g. ARP frames carry no IPv4 header).
+struct ParsedPacket {
+    SimTime timestamp;
+    std::size_t frame_size = 0;
+    EthernetHeader ethernet;
+    std::optional<Ipv4Header> ip;
+    std::optional<TcpHeader> tcp;
+    std::optional<UdpHeader> udp;
+    Bytes payload;  // transport payload (TCP segment data / UDP datagram data)
+
+    [[nodiscard]] bool is_tcp() const noexcept { return tcp.has_value(); }
+    [[nodiscard]] bool is_udp() const noexcept { return udp.has_value(); }
+};
+
+/// Parses an Ethernet/IPv4/{TCP,UDP} frame. Verifies the IPv4 header checksum
+/// and respects the IPv4 total-length field (ignoring Ethernet padding).
+[[nodiscard]] Result<ParsedPacket> parse_packet(const Packet& packet);
+
+/// Endpoint = address + port, for builder convenience.
+struct Endpoint {
+    Ipv4Address address;
+    std::uint16_t port = 0;
+
+    friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Composes full frames. Lengths and checksums (IPv4 header checksum, TCP/UDP
+/// pseudo-header checksums) are computed here, in one place.
+class FrameBuilder {
+  public:
+    FrameBuilder(MacAddress source_mac, MacAddress destination_mac)
+        : source_mac_(source_mac), destination_mac_(destination_mac) {}
+
+    [[nodiscard]] Packet tcp(SimTime timestamp, Endpoint source, Endpoint destination,
+                             std::uint32_t sequence, std::uint32_t acknowledgment,
+                             std::uint8_t flags, BytesView payload) const;
+
+    [[nodiscard]] Packet udp(SimTime timestamp, Endpoint source, Endpoint destination,
+                             BytesView payload) const;
+
+  private:
+    MacAddress source_mac_;
+    MacAddress destination_mac_;
+};
+
+}  // namespace tvacr::net

@@ -1,0 +1,119 @@
+#include "net/pcap.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace tvacr::net {
+
+namespace {
+
+void append_global_header(ByteWriter& out) {
+    out.u32le(kPcapMagicMicros);
+    out.u16le(2);  // version major
+    out.u16le(4);  // version minor
+    out.u32le(0);  // thiszone
+    out.u32le(0);  // sigfigs
+    out.u32le(kPcapSnapLen);
+    out.u32le(kPcapLinkTypeEthernet);
+}
+
+void append_record(ByteWriter& out, const Packet& packet) {
+    const std::int64_t micros = packet.timestamp.as_micros();
+    out.u32le(static_cast<std::uint32_t>(micros / 1'000'000));
+    out.u32le(static_cast<std::uint32_t>(micros % 1'000'000));
+    out.u32le(static_cast<std::uint32_t>(packet.data.size()));
+    out.u32le(static_cast<std::uint32_t>(packet.data.size()));
+    out.raw(packet.data);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out) : out_(out) {
+    ByteWriter header;
+    append_global_header(header);
+    out_.write(reinterpret_cast<const char*>(header.view().data()),
+               static_cast<std::streamsize>(header.size()));
+}
+
+void PcapWriter::write(const Packet& packet) {
+    ByteWriter record;
+    append_record(record, packet);
+    out_.write(reinterpret_cast<const char*>(record.view().data()),
+               static_cast<std::streamsize>(record.size()));
+    ++packets_written_;
+}
+
+Bytes to_pcap_bytes(const std::vector<Packet>& packets) {
+    ByteWriter out;
+    append_global_header(out);
+    for (const auto& packet : packets) append_record(out, packet);
+    return std::move(out).take();
+}
+
+Result<std::vector<Packet>> from_pcap_bytes(BytesView data) {
+    ByteReader reader(data);
+    auto magic = reader.u32le();
+    if (!magic) return magic.error();
+
+    bool swapped = false;
+    if (magic.value() == kPcapMagicMicros) {
+        swapped = false;
+    } else if (magic.value() == 0xD4C3B2A1) {
+        swapped = true;
+    } else {
+        return make_error("pcap: unrecognized magic number");
+    }
+    const auto read_u32 = [&](ByteReader& r) { return swapped ? r.u32() : r.u32le(); };
+    const auto read_u16 = [&](ByteReader& r) { return swapped ? r.u16() : r.u16le(); };
+
+    auto major = read_u16(reader);
+    if (!major) return major.error();
+    if (auto minor = read_u16(reader); !minor) return minor.error();
+    if (major.value() != 2) return make_error("pcap: unsupported major version");
+    if (auto s = reader.skip(8); !s) return s.error();  // thiszone + sigfigs
+    if (auto snaplen = read_u32(reader); !snaplen) return snaplen.error();
+    auto linktype = read_u32(reader);
+    if (!linktype) return linktype.error();
+    if (linktype.value() != kPcapLinkTypeEthernet) {
+        return make_error("pcap: unsupported link type (want Ethernet)");
+    }
+
+    std::vector<Packet> packets;
+    while (!reader.at_end()) {
+        // A truncated final record (incomplete header or body) is tolerated:
+        // real captures are often cut mid-packet when the capture stops.
+        if (reader.remaining() < 16) break;
+        auto ts_sec = read_u32(reader);
+        auto ts_usec = read_u32(reader);
+        auto incl_len = read_u32(reader);
+        auto orig_len = read_u32(reader);
+        if (!ts_sec || !ts_usec || !incl_len || !orig_len) break;
+        if (incl_len.value() > kPcapSnapLen) return make_error("pcap: record exceeds snaplen");
+        if (reader.remaining() < incl_len.value()) break;
+        auto body = reader.raw(incl_len.value());
+        if (!body) return body.error();
+        const auto timestamp = SimTime::micros(static_cast<std::int64_t>(ts_sec.value()) * 1'000'000 +
+                                               ts_usec.value());
+        packets.push_back(Packet{timestamp, std::move(body).value()});
+    }
+    return packets;
+}
+
+Status write_pcap_file(const std::string& path, const std::vector<Packet>& packets) {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) return make_error("pcap: cannot open for writing: " + path);
+    const Bytes bytes = to_pcap_bytes(packets);
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!file) return make_error("pcap: write failed: " + path);
+    return Status::success();
+}
+
+Result<std::vector<Packet>> read_pcap_file(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return make_error("pcap: cannot open for reading: " + path);
+    Bytes bytes((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+    return from_pcap_bytes(bytes);
+}
+
+}  // namespace tvacr::net

@@ -1,0 +1,47 @@
+// Classic libpcap capture-file format (magic 0xa1b2c3d4, LINKTYPE_ETHERNET),
+// implemented from the file-format specification. Files written here open in
+// Wireshark/tcpdump; the reader accepts both byte orders.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/packet.hpp"
+
+namespace tvacr::net {
+
+inline constexpr std::uint32_t kPcapMagicMicros = 0xA1B2C3D4;
+inline constexpr std::uint32_t kPcapLinkTypeEthernet = 1;
+inline constexpr std::uint32_t kPcapSnapLen = 262144;
+
+/// Streams packets into a pcap byte stream. The stream reference must outlive
+/// the writer. Timestamps are simulated time from t=0 (epoch offset 0).
+class PcapWriter {
+  public:
+    explicit PcapWriter(std::ostream& out);
+
+    void write(const Packet& packet);
+    [[nodiscard]] std::uint64_t packets_written() const noexcept { return packets_written_; }
+
+  private:
+    std::ostream& out_;
+    std::uint64_t packets_written_ = 0;
+};
+
+/// In-memory pcap serialization of a packet list (used heavily by tests and
+/// by the capture tap when persisting experiment traces).
+[[nodiscard]] Bytes to_pcap_bytes(const std::vector<Packet>& packets);
+
+/// Parses a pcap byte buffer into packets. Handles the swapped-magic case
+/// (file written on an opposite-endian machine) and truncated trailing
+/// records (a capture killed mid-write loses at most the final packet).
+[[nodiscard]] Result<std::vector<Packet>> from_pcap_bytes(BytesView data);
+
+/// File helpers.
+Status write_pcap_file(const std::string& path, const std::vector<Packet>& packets);
+[[nodiscard]] Result<std::vector<Packet>> read_pcap_file(const std::string& path);
+
+}  // namespace tvacr::net

@@ -1,0 +1,55 @@
+#include "sim/access_point.hpp"
+
+#include <utility>
+
+#include "sim/cloud.hpp"
+#include "sim/station.hpp"
+
+namespace tvacr::sim {
+
+AccessPoint::AccessPoint(Simulator& simulator, net::MacAddress mac, net::Ipv4Address gateway_ip,
+                         LatencyModel wifi_latency, std::uint64_t seed)
+    : simulator_(simulator),
+      mac_(mac),
+      gateway_ip_(gateway_ip),
+      wifi_latency_(wifi_latency),
+      rng_(seed) {}
+
+void AccessPoint::connect_station(Station& station) { station_ = &station; }
+
+void AccessPoint::tap_frame(const net::Packet& packet) {
+    if (!capturing_) return;
+    ++frames_tapped_;
+    if (tap_) tap_(packet);
+}
+
+void AccessPoint::on_station_frame(Station& station, net::Packet packet) {
+    SimTime arrival = simulator_.now() + sample_wifi_latency();
+    if (arrival < last_uplink_arrival_) arrival = last_uplink_arrival_ + SimTime::micros(1);
+    last_uplink_arrival_ = arrival;
+    simulator_.at(arrival, [this, &station, packet = std::move(packet), arrival]() mutable {
+        packet.timestamp = arrival;  // capture timestamps are AP-side
+        tap_frame(packet);
+        // Frames addressed beyond the gateway go up the wired interface.
+        if (cloud_ != nullptr) cloud_->route_from_ap(*this, packet);
+        (void)station;
+    });
+}
+
+void AccessPoint::deliver_to_station(net::Packet packet) {
+    if (station_ == nullptr) return;
+    packet.timestamp = simulator_.now();
+    tap_frame(packet);
+    SimTime arrival = simulator_.now() + sample_wifi_latency();
+    if (arrival < last_downlink_arrival_) arrival = last_downlink_arrival_ + SimTime::micros(1);
+    last_downlink_arrival_ = arrival;
+    simulator_.at(arrival, [this, packet = std::move(packet)]() { station_->deliver(packet); });
+}
+
+SimTime AccessPoint::sample_wifi_latency() { return wifi_latency_.sample(rng_); }
+
+net::MacAddress AccessPoint::station_mac() const noexcept {
+    return station_ != nullptr ? station_->mac() : net::MacAddress{};
+}
+
+}  // namespace tvacr::sim

@@ -1,0 +1,99 @@
+// The access-point server at the heart of the testbed (paper §3.1).
+//
+// One AP per TV: the TV associates over Wi-Fi, the AP's wired interface
+// reaches the internet (our Cloud), and — exactly like the Mon(IoT)r
+// deployment — every frame crossing the Wi-Fi link is copied to a capture
+// tap. "The capture contains exclusively the traffic transmitted to and
+// received from the smart TV."
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+
+namespace tvacr::sim {
+
+class Station;
+class Cloud;
+
+class AccessPoint {
+  public:
+    AccessPoint(Simulator& simulator, net::MacAddress mac, net::Ipv4Address gateway_ip,
+                LatencyModel wifi_latency, std::uint64_t seed);
+
+    AccessPoint(const AccessPoint&) = delete;
+    AccessPoint& operator=(const AccessPoint&) = delete;
+
+    [[nodiscard]] net::MacAddress mac() const noexcept { return mac_; }
+    [[nodiscard]] net::Ipv4Address gateway_ip() const noexcept { return gateway_ip_; }
+
+    void connect_station(Station& station);
+    void set_cloud(Cloud& cloud) noexcept { cloud_ = &cloud; }
+    [[nodiscard]] Cloud* cloud() const noexcept { return cloud_; }
+
+    /// Capture tap: invoked once per frame crossing the Wi-Fi link, in both
+    /// directions, with the AP-side timestamp.
+    using CaptureTap = std::function<void(const net::Packet&)>;
+    void set_tap(CaptureTap tap) { tap_ = std::move(tap); }
+
+    /// TLS interception (the paper's future-work MITM setup): the lab AP
+    /// terminates TLS with a researcher-installed CA, so application
+    /// plaintext becomes visible at the proxy. When a MITM tap is installed,
+    /// TLS sessions traversing this AP report each plaintext record here.
+    struct MitmRecord {
+        SimTime timestamp;
+        net::Endpoint server;
+        bool device_to_server = false;
+        Bytes plaintext;
+    };
+    using MitmTap = std::function<void(const MitmRecord&)>;
+    void set_mitm_tap(MitmTap tap) { mitm_tap_ = std::move(tap); }
+    [[nodiscard]] bool mitm_enabled() const noexcept { return static_cast<bool>(mitm_tap_); }
+    void report_mitm(const MitmRecord& record) const {
+        if (mitm_tap_) mitm_tap_(record);
+    }
+
+    /// Starts/stops copying frames to the tap (traffic capture lifecycle).
+    void set_capturing(bool capturing) noexcept { capturing_ = capturing; }
+    [[nodiscard]] bool capturing() const noexcept { return capturing_; }
+
+    /// Station-side ingress: called by Station::transmit at emission time;
+    /// the frame reaches the AP after one Wi-Fi latency sample, is tapped,
+    /// and is forwarded to the cloud if addressed beyond the gateway.
+    void on_station_frame(Station& station, net::Packet packet);
+
+    /// Internet-side egress: sends a frame down the Wi-Fi link to the
+    /// attached station. Tapped at departure; delivered after Wi-Fi latency.
+    void deliver_to_station(net::Packet packet);
+
+    [[nodiscard]] SimTime sample_wifi_latency();
+    [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+    /// MAC of the associated station (downlink frames are addressed to it).
+    [[nodiscard]] net::MacAddress station_mac() const noexcept;
+
+    [[nodiscard]] std::uint64_t frames_tapped() const noexcept { return frames_tapped_; }
+
+  private:
+    void tap_frame(const net::Packet& packet);
+
+    Simulator& simulator_;
+    net::MacAddress mac_;
+    net::Ipv4Address gateway_ip_;
+    LatencyModel wifi_latency_;
+    Rng rng_;
+    Station* station_ = nullptr;
+    Cloud* cloud_ = nullptr;
+    CaptureTap tap_;
+    MitmTap mitm_tap_;
+    bool capturing_ = true;
+    std::uint64_t frames_tapped_ = 0;
+    // The Wi-Fi link is FIFO: jitter never reorders frames within a direction.
+    SimTime last_uplink_arrival_;
+    SimTime last_downlink_arrival_;
+};
+
+}  // namespace tvacr::sim

@@ -1,0 +1,127 @@
+#include "sim/cloud.hpp"
+
+#include "common/rng.hpp"
+#include "dns/message.hpp"
+#include "sim/access_point.hpp"
+#include "sim/station.hpp"
+
+namespace tvacr::sim {
+
+Cloud::Cloud(Simulator& simulator, std::uint64_t seed) : simulator_(simulator), rng_(seed) {}
+
+void Cloud::add_route(net::Ipv4Address destination, LatencyModel latency) {
+    routes_[destination] = latency;
+}
+
+LatencyModel Cloud::route_latency(net::Ipv4Address destination) const {
+    const auto it = routes_.find(destination);
+    return it == routes_.end() ? default_route_ : it->second;
+}
+
+SimTime Cloud::sample_path_latency(net::Ipv4Address destination) {
+    return route_latency(destination).sample(rng_);
+}
+
+std::size_t Cloud::TupleHash::operator()(const net::FiveTuple& t) const noexcept {
+    std::uint64_t h = t.source.value();
+    h = splitmix64(h ^ t.destination.value());
+    h = splitmix64(h ^ (static_cast<std::uint64_t>(t.source_port) << 16) ^ t.destination_port);
+    return static_cast<std::size_t>(h);
+}
+
+void Cloud::register_tcp_flow(const net::FiveTuple& flow, SegmentHandler handler) {
+    tcp_flows_[flow.canonical()] = std::move(handler);
+}
+
+void Cloud::unregister_tcp_flow(const net::FiveTuple& flow) {
+    tcp_flows_.erase(flow.canonical());
+}
+
+void Cloud::route_from_ap(AccessPoint& ap, const net::Packet& packet) {
+    auto parsed = net::parse_packet(packet);
+    if (!parsed || !parsed.value().ip) return;
+    const auto destination = parsed.value().ip->destination;
+    // Local AP traffic (e.g. to the gateway itself) does not enter the cloud.
+    if (destination == ap.gateway_ip()) return;
+
+    ++datagrams_routed_;
+    SimTime path = sample_path_latency(destination);
+    SimTime arrival = simulator_.now() + path;
+    auto& last = last_arrival_[destination];
+    if (arrival < last) arrival = last + SimTime::micros(1);
+    last = arrival;
+    path = arrival - simulator_.now();
+
+    if (parsed.value().udp && destination == dns_ip_ &&
+        parsed.value().udp->destination_port == dns::kDnsPort) {
+        simulator_.after(path, [this, &ap, parsed = std::move(parsed).value()]() {
+            handle_dns(ap, parsed);
+        });
+        return;
+    }
+    if (parsed.value().tcp) {
+        // Uplink loss applies to data-bearing segments only.
+        if (!parsed.value().payload.empty() && should_drop_data(destination)) return;
+        auto flow = net::flow_of(parsed.value());
+        if (!flow) return;
+        const auto it = tcp_flows_.find(flow.value().canonical());
+        if (it == tcp_flows_.end()) return;  // no listener: segment vanishes
+        simulator_.after(path, [handler = it->second, parsed = std::move(parsed).value()]() {
+            handler(parsed);
+        });
+        return;
+    }
+    // Anything else (ICMP, unknown UDP) is dropped by the simulated internet.
+}
+
+void Cloud::set_route_loss(net::Ipv4Address destination, double rate) {
+    route_loss_[destination] = rate;
+}
+
+bool Cloud::should_drop_data(net::Ipv4Address destination) {
+    const auto it = route_loss_.find(destination);
+    if (it == route_loss_.end() || it->second <= 0.0) return false;
+    if (!rng_.chance(it->second)) return false;
+    ++data_segments_dropped_;
+    return true;
+}
+
+void Cloud::block_domain(const std::string& name) {
+    auto parsed = dns::DomainName::parse(name);
+    if (parsed) blocklist_.push_back(std::move(parsed).value());
+}
+
+bool Cloud::is_blocked(const dns::DomainName& name) const {
+    for (const auto& blocked : blocklist_) {
+        if (name.is_subdomain_of(blocked)) return true;
+    }
+    return false;
+}
+
+void Cloud::handle_dns(AccessPoint& ap, const net::ParsedPacket& query_packet) {
+    auto query = dns::DnsMessage::decode(query_packet.payload);
+    if (!query || query.value().is_response) return;
+    if (dns_drop_rate_ > 0.0 && rng_.chance(dns_drop_rate_)) return;  // lost query
+
+    dns::DnsMessage response;
+    if (!query.value().questions.empty() && is_blocked(query.value().questions.front().name)) {
+        ++blocked_queries_;
+        response = make_response(query.value(), {}, dns::ResponseCode::kNxDomain);
+    } else {
+        response = zone_.answer(query.value());
+    }
+    const Bytes wire = response.encode();
+
+    // Response travels back: resolver -> AP (path latency) -> station (Wi-Fi).
+    const net::Endpoint server{dns_ip_, dns::kDnsPort};
+    const net::Endpoint client{query_packet.ip->source, query_packet.udp->source_port};
+    const SimTime path = sample_path_latency(dns_ip_);
+    simulator_.after(path, [&ap, server, client, wire]() {
+        // Downlink frames carry the AP's MAC as source, the station's as
+        // destination — exactly what a Wi-Fi capture at the AP records.
+        const net::FrameBuilder builder(ap.mac(), ap.station_mac());
+        ap.deliver_to_station(builder.udp(SimTime{}, server, client, wire));
+    });
+}
+
+}  // namespace tvacr::sim

@@ -1,0 +1,99 @@
+// The simulated internet: per-destination path latencies, the authoritative
+// DNS service, and routing of TV-originated segments to server-side handlers.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "dns/zone.hpp"
+#include "net/flow.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+
+namespace tvacr::sim {
+
+class AccessPoint;
+
+class Cloud {
+  public:
+    Cloud(Simulator& simulator, std::uint64_t seed);
+
+    Cloud(const Cloud&) = delete;
+    Cloud& operator=(const Cloud&) = delete;
+
+    /// Authoritative DNS data for the whole simulated internet.
+    [[nodiscard]] dns::Zone& zone() noexcept { return zone_; }
+    [[nodiscard]] const dns::Zone& zone() const noexcept { return zone_; }
+
+    /// Address of the recursive resolver the TVs are configured with.
+    void enable_dns(net::Ipv4Address resolver_ip) { dns_ip_ = resolver_ip; }
+    [[nodiscard]] net::Ipv4Address dns_ip() const noexcept { return dns_ip_; }
+
+    /// Fault injection: fraction of DNS queries silently dropped (models a
+    /// lossy uplink; exercises the stub resolver's retry path).
+    void set_dns_drop_rate(double rate) noexcept { dns_drop_rate_ = rate; }
+
+    /// Fault injection: fraction of *data-bearing* TCP segments lost on the
+    /// path to/from `destination` (control segments are exempt — handshake
+    /// retransmission is out of scope; TCP's data-loss repair is not).
+    void set_route_loss(net::Ipv4Address destination, double rate);
+    [[nodiscard]] bool should_drop_data(net::Ipv4Address destination);
+    [[nodiscard]] std::uint64_t data_segments_dropped() const noexcept {
+        return data_segments_dropped_;
+    }
+
+    /// DNS-level blocklist (a Pi-hole-style intervention): queries for these
+    /// names — or their subdomains — answer NXDOMAIN. Used to evaluate
+    /// whether blocklists actually stop ACR traffic.
+    void block_domain(const std::string& name);
+    [[nodiscard]] bool is_blocked(const dns::DomainName& name) const;
+    [[nodiscard]] std::uint64_t blocked_queries() const noexcept { return blocked_queries_; }
+
+    /// One-way path latency from the AP's wired uplink to a destination.
+    void add_route(net::Ipv4Address destination, LatencyModel latency);
+    void set_default_route(LatencyModel latency) { default_route_ = latency; }
+    [[nodiscard]] SimTime sample_path_latency(net::Ipv4Address destination);
+    [[nodiscard]] LatencyModel route_latency(net::Ipv4Address destination) const;
+
+    /// Server-side TCP flow handlers, keyed by canonical 5-tuple. The
+    /// TcpConnection registers here so client segments forwarded by the AP
+    /// reach the right server-side state machine.
+    using SegmentHandler = std::function<void(const net::ParsedPacket&)>;
+    void register_tcp_flow(const net::FiveTuple& flow, SegmentHandler handler);
+    void unregister_tcp_flow(const net::FiveTuple& flow);
+
+    /// Uplink ingress from an AP: parses the frame, applies path latency and
+    /// dispatches (DNS datagrams answered from the zone; TCP segments routed
+    /// to their flow handler; everything else silently dropped, as the
+    /// internet does).
+    void route_from_ap(AccessPoint& ap, const net::Packet& packet);
+
+    [[nodiscard]] Rng& rng() noexcept { return rng_; }
+    [[nodiscard]] std::uint64_t datagrams_routed() const noexcept { return datagrams_routed_; }
+
+  private:
+    void handle_dns(AccessPoint& ap, const net::ParsedPacket& query_packet);
+
+    Simulator& simulator_;
+    Rng rng_;
+    dns::Zone zone_;
+    net::Ipv4Address dns_ip_;
+    double dns_drop_rate_ = 0.0;
+    std::unordered_map<net::Ipv4Address, double> route_loss_;
+    std::uint64_t data_segments_dropped_ = 0;
+    std::vector<dns::DomainName> blocklist_;
+    std::uint64_t blocked_queries_ = 0;
+    LatencyModel default_route_{SimTime::millis(20), SimTime::millis(4)};
+    std::unordered_map<net::Ipv4Address, LatencyModel> routes_;
+
+    struct TupleHash {
+        std::size_t operator()(const net::FiveTuple& t) const noexcept;
+    };
+    std::unordered_map<net::FiveTuple, SegmentHandler, TupleHash> tcp_flows_;
+    // Per-destination FIFO clamp: internet paths do not reorder our flows.
+    std::unordered_map<net::Ipv4Address, SimTime> last_arrival_;
+    std::uint64_t datagrams_routed_ = 0;
+};
+
+}  // namespace tvacr::sim

@@ -1,0 +1,96 @@
+#include "sim/dns_client.hpp"
+
+#include <memory>
+
+namespace tvacr::sim {
+
+DnsClient::DnsClient(Simulator& simulator, Station& station, net::Ipv4Address resolver,
+                     std::uint64_t seed, Config config)
+    : simulator_(simulator),
+      station_(station),
+      resolver_(resolver),
+      rng_(seed),
+      config_(config),
+      port_(station.allocate_port()),
+      next_id_(static_cast<std::uint16_t>(rng_())) {
+    station_.bind_udp(port_, [this](net::Endpoint from, Bytes payload) {
+        if (from.address != resolver_) return;
+        auto response = dns::DnsMessage::decode(payload);
+        if (!response || !response.value().is_response) return;
+        const auto it = in_flight_.find(response.value().id);
+        if (it == in_flight_.end()) return;  // late duplicate after retry
+        Callback callback = std::move(it->second);
+        in_flight_.erase(it);
+
+        std::optional<net::Ipv4Address> address;
+        std::uint32_t ttl = 300;
+        for (const auto& record : response.value().answers) {
+            if (record.type == dns::RecordType::kA) {
+                address = std::get<net::Ipv4Address>(record.rdata);
+                ttl = record.ttl;
+                break;
+            }
+        }
+        if (!response.value().questions.empty()) {
+            const std::string queried = response.value().questions.front().name.to_string();
+            if (address) {
+                cache_[queried] = CacheEntry{address, simulator_.now() + SimTime::seconds(ttl)};
+            } else if (response.value().rcode == dns::ResponseCode::kNxDomain) {
+                // Negative caching: NXDOMAIN answers are remembered so the
+                // client does not hammer the resolver (RFC 2308).
+                cache_[queried] = CacheEntry{std::nullopt, simulator_.now() + config_.negative_ttl};
+            }
+        }
+        callback(address);
+    });
+}
+
+DnsClient::~DnsClient() {
+    *alive_ = false;
+    station_.unbind_udp(port_);
+}
+
+void DnsClient::resolve(const std::string& name, Callback callback) {
+    if (const auto it = cache_.find(name); it != cache_.end()) {
+        if (it->second.expires > simulator_.now()) {
+            (it->second.address ? cache_hits_ : negative_cache_hits_) += 1;
+            const auto address = it->second.address;
+            simulator_.after(SimTime::micros(10),
+                             [callback = std::move(callback), address]() { callback(address); });
+            return;
+        }
+        cache_.erase(it);
+    }
+    const std::uint16_t id = next_id_++;
+    send_query(id, name, 1, std::move(callback));
+}
+
+void DnsClient::send_query(std::uint16_t id, const std::string& name, int attempt,
+                           Callback callback) {
+    auto parsed = dns::DomainName::parse(name);
+    if (!parsed) {
+        callback(std::nullopt);
+        return;
+    }
+    in_flight_[id] = std::move(callback);
+    const dns::DnsMessage query = make_query(id, parsed.value(), dns::RecordType::kA);
+    station_.send_udp(port_, net::Endpoint{resolver_, dns::kDnsPort}, query.encode());
+    ++queries_sent_;
+
+    simulator_.after(config_.timeout, [this, alive = std::weak_ptr<bool>(alive_), id, name,
+                                       attempt]() {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        const auto it = in_flight_.find(id);
+        if (it == in_flight_.end()) return;  // already answered
+        Callback pending = std::move(it->second);
+        in_flight_.erase(it);
+        if (attempt >= config_.max_attempts) {
+            pending(std::nullopt);
+            return;
+        }
+        send_query(next_id_++, name, attempt + 1, std::move(pending));
+    });
+}
+
+}  // namespace tvacr::sim

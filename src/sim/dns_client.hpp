@@ -1,0 +1,71 @@
+// Stub resolver running on the TV: UDP queries to the configured resolver,
+// timeout-based retries, and a positive cache honouring record TTLs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dns/message.hpp"
+#include "sim/cloud.hpp"
+#include "sim/station.hpp"
+
+namespace tvacr::sim {
+
+/// Resolver retry policy.
+struct DnsClientConfig {
+    SimTime timeout = SimTime::seconds(3);
+    int max_attempts = 3;
+    /// How long NXDOMAIN answers are cached (negative caching, RFC 2308).
+    SimTime negative_ttl = SimTime::minutes(5);
+};
+
+class DnsClient {
+  public:
+    using Config = DnsClientConfig;
+
+    DnsClient(Simulator& simulator, Station& station, net::Ipv4Address resolver,
+              std::uint64_t seed, Config config = Config());
+    ~DnsClient();
+
+    DnsClient(const DnsClient&) = delete;
+    DnsClient& operator=(const DnsClient&) = delete;
+
+    using Callback = std::function<void(std::optional<net::Ipv4Address>)>;
+
+    /// Resolves a name to its first A record (CNAME chains are chased by the
+    /// server). Answers from cache when a live entry exists.
+    void resolve(const std::string& name, Callback callback);
+
+    [[nodiscard]] std::uint64_t queries_sent() const noexcept { return queries_sent_; }
+    [[nodiscard]] std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+    [[nodiscard]] std::uint64_t negative_cache_hits() const noexcept {
+        return negative_cache_hits_;
+    }
+
+  private:
+    struct CacheEntry {
+        std::optional<net::Ipv4Address> address;  // nullopt: cached NXDOMAIN
+        SimTime expires;
+    };
+
+    void send_query(std::uint16_t id, const std::string& name, int attempt, Callback callback);
+
+    Simulator& simulator_;
+    Station& station_;
+    net::Ipv4Address resolver_;
+    Rng rng_;
+    Config config_;
+    std::uint16_t port_;
+    std::uint16_t next_id_;
+    std::unordered_map<std::uint16_t, Callback> in_flight_;
+    std::unordered_map<std::string, CacheEntry> cache_;
+    std::uint64_t queries_sent_ = 0;
+    std::uint64_t cache_hits_ = 0;
+    std::uint64_t negative_cache_hits_ = 0;
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace tvacr::sim

@@ -1,0 +1,20 @@
+// Link/path latency with deterministic jitter.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace tvacr::sim {
+
+/// One-way delay model: base + uniform jitter in [0, jitter].
+struct LatencyModel {
+    SimTime base = SimTime::millis(1);
+    SimTime jitter;
+
+    [[nodiscard]] SimTime sample(Rng& rng) const {
+        if (jitter.as_micros() <= 0) return base;
+        return base + SimTime::micros(rng.uniform(0, jitter.as_micros()));
+    }
+};
+
+}  // namespace tvacr::sim

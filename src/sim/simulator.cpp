@@ -1,0 +1,35 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace tvacr::sim {
+
+void Simulator::at(SimTime when, Action action) {
+    assert(when >= now_ && "cannot schedule into the past");
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_sequence_++, std::move(action)});
+}
+
+bool Simulator::step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top is const; the action is moved out via const_cast,
+    // which is safe because the element is popped immediately after.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++events_processed_;
+    event.action();
+    return true;
+}
+
+void Simulator::run_until(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all() {
+    while (step()) {
+    }
+}
+
+}  // namespace tvacr::sim

@@ -1,0 +1,61 @@
+// Discrete-event simulator: a virtual clock and an ordered event queue.
+//
+// All testbed activity (TV boot, frame captures, packet deliveries, smart-plug
+// power cycles) is expressed as events. Ties are broken by insertion order so
+// runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace tvacr::sim {
+
+class Simulator {
+  public:
+    using Action = std::function<void()>;
+
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// Schedules `action` at absolute simulated time `at` (>= now).
+    void at(SimTime when, Action action);
+
+    /// Schedules `action` `delay` after the current time.
+    void after(SimTime delay, Action action) { at(now_ + delay, std::move(action)); }
+
+    /// Runs a single event; false when the queue is empty.
+    bool step();
+
+    /// Runs events until the queue is empty or the next event is after
+    /// `deadline`; the clock finishes at min(deadline, last event time).
+    void run_until(SimTime deadline);
+
+    /// Drains the queue completely.
+    void run_all();
+
+    [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+    [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  private:
+    struct Event {
+        SimTime when;
+        std::uint64_t sequence;  // FIFO among same-time events
+        Action action;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.when != b.when) return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SimTime now_;
+    std::uint64_t next_sequence_ = 0;
+    std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace tvacr::sim

@@ -1,0 +1,49 @@
+// Server-controlled smart plug (paper §3.2): the experiment workflow powers
+// the TV on at capture start and off at the end, entirely from the server.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace tvacr::sim {
+
+/// Anything the plug can energize. The smart TV implements this.
+class PoweredDevice {
+  public:
+    virtual ~PoweredDevice() = default;
+    virtual void power_on() = 0;
+    virtual void power_off() = 0;
+};
+
+class SmartPlug {
+  public:
+    SmartPlug(Simulator& simulator, PoweredDevice& device)
+        : simulator_(simulator), device_(device) {}
+
+    void turn_on() {
+        if (on_) return;
+        on_ = true;
+        device_.power_on();
+    }
+    void turn_off() {
+        if (!on_) return;
+        on_ = false;
+        device_.power_off();
+    }
+
+    /// Schedules a power cycle: on at `on_at`, off at `off_at`.
+    void schedule_cycle(SimTime on_at, SimTime off_at) {
+        simulator_.at(on_at, [this]() { turn_on(); });
+        simulator_.at(off_at, [this]() { turn_off(); });
+    }
+
+    [[nodiscard]] bool is_on() const noexcept { return on_; }
+
+  private:
+    Simulator& simulator_;
+    PoweredDevice& device_;
+    bool on_ = false;
+};
+
+}  // namespace tvacr::sim

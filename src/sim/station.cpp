@@ -1,0 +1,70 @@
+#include "sim/station.hpp"
+
+#include "sim/access_point.hpp"
+
+namespace tvacr::sim {
+
+Station::Station(Simulator& simulator, std::string name, net::MacAddress mac, net::Ipv4Address ip)
+    : simulator_(simulator), name_(std::move(name)), mac_(mac), ip_(ip) {}
+
+void Station::attach(AccessPoint& access_point) {
+    access_point_ = &access_point;
+    access_point.connect_station(*this);
+}
+
+void Station::bind_udp(std::uint16_t local_port, UdpHandler handler) {
+    udp_handlers_[local_port] = std::move(handler);
+}
+
+void Station::unbind_udp(std::uint16_t local_port) { udp_handlers_.erase(local_port); }
+
+void Station::send_udp(std::uint16_t local_port, net::Endpoint remote, BytesView payload) {
+    if (access_point_ == nullptr || !online_) return;
+    const net::FrameBuilder builder(mac_, access_point_->mac());
+    transmit(builder.udp(simulator_.now(), net::Endpoint{ip_, local_port}, remote, payload));
+}
+
+void Station::register_tcp(std::uint16_t local_port, SegmentHandler handler) {
+    tcp_handlers_[local_port] = std::move(handler);
+}
+
+void Station::unregister_tcp(std::uint16_t local_port) { tcp_handlers_.erase(local_port); }
+
+std::uint16_t Station::allocate_port() {
+    for (int attempts = 0; attempts < 65536; ++attempts) {
+        const std::uint16_t candidate = next_port_;
+        next_port_ = next_port_ >= 65535 ? 49152 : static_cast<std::uint16_t>(next_port_ + 1);
+        if (!tcp_handlers_.contains(candidate) && !udp_handlers_.contains(candidate)) {
+            return candidate;
+        }
+    }
+    return 49152;  // unreachable in practice
+}
+
+void Station::transmit(net::Packet packet) {
+    if (access_point_ == nullptr || !online_) return;
+    ++frames_sent_;
+    access_point_->on_station_frame(*this, std::move(packet));
+}
+
+void Station::deliver(const net::Packet& packet) {
+    if (!online_) return;
+    ++frames_received_;
+    auto parsed = net::parse_packet(packet);
+    if (!parsed) return;  // malformed frames are dropped, as a real stack would
+
+    if (parsed.value().udp) {
+        const auto it = udp_handlers_.find(parsed.value().udp->destination_port);
+        if (it != udp_handlers_.end()) {
+            const net::Endpoint from{parsed.value().ip->source, parsed.value().udp->source_port};
+            it->second(from, parsed.value().payload);
+        }
+        return;
+    }
+    if (parsed.value().tcp) {
+        const auto it = tcp_handlers_.find(parsed.value().tcp->destination_port);
+        if (it != tcp_handlers_.end()) it->second(parsed.value());
+    }
+}
+
+}  // namespace tvacr::sim

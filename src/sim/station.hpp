@@ -1,0 +1,76 @@
+// A wireless station — the smart TV's network interface on the testbed's
+// dedicated access point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace tvacr::sim {
+
+class AccessPoint;
+
+class Station {
+  public:
+    Station(Simulator& simulator, std::string name, net::MacAddress mac, net::Ipv4Address ip);
+
+    Station(const Station&) = delete;
+    Station& operator=(const Station&) = delete;
+
+    /// Associates with an access point (must outlive the station's use).
+    void attach(AccessPoint& access_point);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] net::MacAddress mac() const noexcept { return mac_; }
+    [[nodiscard]] net::Ipv4Address ip() const noexcept { return ip_; }
+    [[nodiscard]] AccessPoint* access_point() const noexcept { return access_point_; }
+    [[nodiscard]] Simulator& simulator() const noexcept { return simulator_; }
+
+    /// Radio on/off: an offline station transmits nothing and drops all
+    /// deliveries (models the TV being powered off by the smart plug).
+    void set_online(bool online) noexcept { online_ = online; }
+    [[nodiscard]] bool online() const noexcept { return online_; }
+
+    // -- UDP ---------------------------------------------------------------
+    using UdpHandler = std::function<void(net::Endpoint from, Bytes payload)>;
+    void bind_udp(std::uint16_t local_port, UdpHandler handler);
+    void unbind_udp(std::uint16_t local_port);
+    void send_udp(std::uint16_t local_port, net::Endpoint remote, BytesView payload);
+
+    // -- TCP demux (connections register for their local port) --------------
+    using SegmentHandler = std::function<void(const net::ParsedPacket&)>;
+    void register_tcp(std::uint16_t local_port, SegmentHandler handler);
+    void unregister_tcp(std::uint16_t local_port);
+
+    /// Ephemeral port allocation (49152+, wraps; skips bound ports).
+    [[nodiscard]] std::uint16_t allocate_port();
+
+    /// Emits a pre-built frame up the Wi-Fi link.
+    void transmit(net::Packet packet);
+
+    /// Called by the access point when a frame reaches this station.
+    void deliver(const net::Packet& packet);
+
+    [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+    [[nodiscard]] std::uint64_t frames_received() const noexcept { return frames_received_; }
+
+  private:
+    Simulator& simulator_;
+    std::string name_;
+    net::MacAddress mac_;
+    net::Ipv4Address ip_;
+    AccessPoint* access_point_ = nullptr;
+    bool online_ = true;
+
+    std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
+    std::unordered_map<std::uint16_t, SegmentHandler> tcp_handlers_;
+    std::uint16_t next_port_ = 49152;
+    std::uint64_t frames_sent_ = 0;
+    std::uint64_t frames_received_ = 0;
+};
+
+}  // namespace tvacr::sim

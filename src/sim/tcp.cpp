@@ -1,0 +1,353 @@
+#include "sim/tcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "net/headers.hpp"
+
+namespace tvacr::sim {
+
+using net::TcpFlags;
+
+TcpConnection::TcpConnection(Simulator& simulator, Station& station, Cloud& cloud,
+                             net::Endpoint remote, Responder responder, Config config)
+    : simulator_(simulator),
+      station_(station),
+      cloud_(cloud),
+      ap_(*station.access_point()),
+      local_{station.ip(), station.allocate_port()},
+      remote_(remote),
+      responder_(std::move(responder)),
+      config_(config) {
+    // Deterministic but connection-unique initial sequence numbers.
+    const std::uint64_t iss_seed =
+        splitmix64((static_cast<std::uint64_t>(local_.port) << 32) ^ remote_.address.value() ^
+                   (static_cast<std::uint64_t>(remote_.port) << 16));
+    client_snd_nxt_ = static_cast<std::uint32_t>(iss_seed);
+    server_snd_nxt_ = static_cast<std::uint32_t>(iss_seed >> 32);
+
+    // Both handlers are guarded: the cloud (and in principle the station)
+    // may have copied them into already-scheduled delivery events that fire
+    // after this connection is destroyed.
+    station_.register_tcp(local_.port, [this, alive = std::weak_ptr<bool>(alive_)](
+                                           const net::ParsedPacket& packet) {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        on_server_segment_at_client(packet);
+    });
+    const net::FiveTuple tuple{local_.address, remote_.address, local_.port, remote_.port,
+                               net::IpProtocol::kTcp};
+    cloud_.register_tcp_flow(tuple, [this, alive = std::weak_ptr<bool>(alive_)](
+                                        const net::ParsedPacket& packet) {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        on_client_segment_at_server(packet);
+    });
+}
+
+TcpConnection::~TcpConnection() {
+    *alive_ = false;
+    station_.unregister_tcp(local_.port);
+    const net::FiveTuple tuple{local_.address, remote_.address, local_.port, remote_.port,
+                               net::IpProtocol::kTcp};
+    cloud_.unregister_tcp_flow(tuple);
+}
+
+void TcpConnection::connect(std::function<void()> on_established) {
+    assert(state_ == State::kIdle);
+    on_established_ = std::move(on_established);
+    state_ = State::kSynSent;
+    client_emit(TcpFlags::kSyn, {});
+}
+
+void TcpConnection::client_emit(std::uint8_t flags, BytesView payload) {
+    const net::FrameBuilder builder(station_.mac(), ap_.mac());
+    station_.transmit(builder.tcp(simulator_.now(), local_, remote_, client_snd_nxt_,
+                                  client_rcv_nxt_, flags, payload));
+    client_snd_nxt_ += static_cast<std::uint32_t>(payload.size());
+    if ((flags & (TcpFlags::kSyn | TcpFlags::kFin)) != 0) client_snd_nxt_ += 1;
+}
+
+void TcpConnection::server_emit(std::uint8_t flags, BytesView payload) {
+    const std::uint32_t seq = server_snd_nxt_;
+    const std::uint32_t ack = server_rcv_nxt_;
+    server_snd_nxt_ += static_cast<std::uint32_t>(payload.size());
+    if ((flags & (TcpFlags::kSyn | TcpFlags::kFin)) != 0) server_snd_nxt_ += 1;
+
+    // Server -> AP path latency, FIFO-clamped so segments stay ordered.
+    SimTime arrival = simulator_.now() + cloud_.sample_path_latency(remote_.address);
+    if (arrival < last_server_arrival_) arrival = last_server_arrival_ + SimTime::micros(1);
+    last_server_arrival_ = arrival;
+
+    Bytes data(payload.begin(), payload.end());
+    simulator_.at(arrival, [this, alive = std::weak_ptr<bool>(alive_), flags, seq, ack,
+                            data = std::move(data)]() {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        const net::FrameBuilder builder(ap_.mac(), station_.mac());
+        ap_.deliver_to_station(
+            builder.tcp(SimTime{}, remote_, local_, seq, ack, flags, data));
+    });
+}
+
+void TcpConnection::on_client_segment_at_server(const net::ParsedPacket& packet) {
+    if (!packet.tcp) return;
+    const auto& tcp = *packet.tcp;
+
+    if (tcp.has(TcpFlags::kSyn)) {
+        server_rcv_nxt_ = tcp.sequence + 1;
+        server_emit(TcpFlags::kSyn | TcpFlags::kAck, {});
+        return;
+    }
+    if (tcp.has(TcpFlags::kFin)) {
+        server_rcv_nxt_ = tcp.sequence + static_cast<std::uint32_t>(packet.payload.size()) + 1;
+        server_emit(TcpFlags::kAck, {});
+        server_emit(TcpFlags::kFin | TcpFlags::kAck, {});
+        return;
+    }
+    if (packet.payload.empty()) {
+        // A pure ACK arriving at the server acknowledges server-stream data.
+        on_stream_ack(/*from_client=*/false, tcp.acknowledgment);
+        return;
+    }
+
+    if (tcp.sequence != server_rcv_nxt_) {
+        // Duplicate or out-of-window data (should not occur on FIFO paths):
+        // re-acknowledge and drop.
+        server_emit(TcpFlags::kAck, {});
+        return;
+    }
+    server_rcv_nxt_ += static_cast<std::uint32_t>(packet.payload.size());
+    server_rx_buffer_.insert(server_rx_buffer_.end(), packet.payload.begin(),
+                             packet.payload.end());
+    server_emit(TcpFlags::kAck, {});
+
+    if (server_expected_ > 0 && server_rx_buffer_.size() >= server_expected_) {
+        Bytes request = std::move(server_rx_buffer_);
+        server_rx_buffer_.clear();
+        server_expected_ = 0;
+        const SimTime think = config_.service_delay.sample(cloud_.rng());
+        simulator_.after(think, [this, alive = std::weak_ptr<bool>(alive_),
+                                 request = std::move(request)]() {
+            const auto guard = alive.lock();
+            if (!guard || !*guard) return;
+            Bytes response = responder_ ? responder_(request) : Bytes{};
+            if (response.empty()) response.push_back(0);  // minimal status byte
+            client_expected_ = response.size();
+            client_rx_buffer_.clear();
+            send_stream(/*from_client=*/false, std::move(response));
+        });
+    }
+}
+
+void TcpConnection::on_server_segment_at_client(const net::ParsedPacket& packet) {
+    if (!packet.tcp) return;
+    const auto& tcp = *packet.tcp;
+
+    if (state_ == State::kSynSent && tcp.has(TcpFlags::kSyn) && tcp.has(TcpFlags::kAck)) {
+        client_rcv_nxt_ = tcp.sequence + 1;
+        client_emit(TcpFlags::kAck, {});
+        state_ = State::kEstablished;
+        if (on_established_) {
+            auto callback = std::move(on_established_);
+            on_established_ = nullptr;
+            callback();
+        }
+        start_next_exchange();
+        return;
+    }
+    if (tcp.has(TcpFlags::kFin)) {
+        client_rcv_nxt_ = tcp.sequence + static_cast<std::uint32_t>(packet.payload.size()) + 1;
+        client_emit(TcpFlags::kAck, {});
+        state_ = State::kClosed;
+        if (on_closed_) {
+            auto callback = std::move(on_closed_);
+            on_closed_ = nullptr;
+            callback();
+        }
+        return;
+    }
+    if (packet.payload.empty()) {
+        // A pure ACK arriving at the client acknowledges client-stream data.
+        on_stream_ack(/*from_client=*/true, tcp.acknowledgment);
+        return;
+    }
+
+    if (tcp.sequence != client_rcv_nxt_) {
+        client_emit(TcpFlags::kAck, {});
+        return;
+    }
+    client_rcv_nxt_ += static_cast<std::uint32_t>(packet.payload.size());
+    client_rx_buffer_.insert(client_rx_buffer_.end(), packet.payload.begin(),
+                             packet.payload.end());
+    client_emit(TcpFlags::kAck, {});
+
+    if (client_expected_ > 0 && client_rx_buffer_.size() >= client_expected_) {
+        client_expected_ = 0;
+        exchange_active_ = false;
+        Bytes response = std::move(client_rx_buffer_);
+        client_rx_buffer_.clear();
+        if (on_response_) {
+            auto callback = std::move(on_response_);
+            on_response_ = nullptr;
+            callback(std::move(response));
+        }
+        start_next_exchange();
+    }
+}
+
+void TcpConnection::exchange(Bytes request, std::function<void(Bytes)> on_response) {
+    assert(!request.empty() && "exchange requires a non-empty request");
+    pending_.push_back(Exchange{std::move(request), std::move(on_response)});
+    if (state_ == State::kEstablished) start_next_exchange();
+}
+
+void TcpConnection::start_next_exchange() {
+    if (exchange_active_ || pending_.empty() || state_ != State::kEstablished) return;
+    Exchange next = std::move(pending_.front());
+    pending_.pop_front();
+    exchange_active_ = true;
+    on_response_ = std::move(next.on_response);
+    server_expected_ = next.request.size();
+    server_rx_buffer_.clear();
+    send_stream(/*from_client=*/true, std::move(next.request));
+}
+
+void TcpConnection::send_stream(bool from_client, Bytes data) {
+    // ACK-clocked slow start: an initial flight of initial_cwnd segments,
+    // then more per cumulative ACK, so large transfers ramp up in RTT-spaced
+    // flights like a real stack. Losses rewind next_offset (Go-Back-N).
+    StreamTx& tx = from_client ? client_tx_ : server_tx_;
+    tx.data = std::move(data);
+    tx.base_seq = from_client ? client_snd_nxt_ : server_snd_nxt_;
+    tx.acked = 0;
+    tx.next_offset = 0;
+    tx.cwnd = config_.initial_cwnd;
+    tx.ssthresh = config_.ssthresh;
+    tx.duplicate_acks = 0;
+    tx.active = true;
+    // Control segments emitted after this stream continue past its range.
+    if (from_client) {
+        client_snd_nxt_ = tx.base_seq + static_cast<std::uint32_t>(tx.data.size());
+    } else {
+        server_snd_nxt_ = tx.base_seq + static_cast<std::uint32_t>(tx.data.size());
+    }
+    transmit_more(from_client);
+}
+
+void TcpConnection::emit_data(bool from_client, std::uint32_t seq, std::uint8_t flags,
+                              Bytes chunk) {
+    if (from_client) {
+        const net::FrameBuilder builder(station_.mac(), ap_.mac());
+        station_.transmit(
+            builder.tcp(simulator_.now(), local_, remote_, seq, client_rcv_nxt_, flags, chunk));
+        return;
+    }
+    // Server data traverses the (possibly lossy) path before reaching the AP.
+    if (cloud_.should_drop_data(remote_.address)) return;
+    SimTime arrival = simulator_.now() + cloud_.sample_path_latency(remote_.address);
+    if (arrival < last_server_arrival_) arrival = last_server_arrival_ + SimTime::micros(1);
+    last_server_arrival_ = arrival;
+    simulator_.at(arrival, [this, alive = std::weak_ptr<bool>(alive_), seq, flags,
+                            ack = server_rcv_nxt_, chunk = std::move(chunk)]() {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        const net::FrameBuilder builder(ap_.mac(), station_.mac());
+        ap_.deliver_to_station(builder.tcp(SimTime{}, remote_, local_, seq, ack, flags, chunk));
+    });
+}
+
+void TcpConnection::transmit_more(bool from_client) {
+    StreamTx& tx = from_client ? client_tx_ : server_tx_;
+    if (!tx.active) return;
+    SimTime at = std::max(simulator_.now(), tx.next_emit);
+    const std::size_t window_bytes = tx.cwnd * config_.mss;
+    while (tx.next_offset < tx.data.size() && tx.next_offset - tx.acked < window_bytes) {
+        const std::size_t length = std::min(config_.mss, tx.data.size() - tx.next_offset);
+        const bool last = tx.next_offset + length >= tx.data.size();
+        const std::uint32_t seq = tx.base_seq + static_cast<std::uint32_t>(tx.next_offset);
+        Bytes chunk(tx.data.begin() + static_cast<std::ptrdiff_t>(tx.next_offset),
+                    tx.data.begin() + static_cast<std::ptrdiff_t>(tx.next_offset + length));
+        tx.next_offset += length;
+        simulator_.at(at, [this, alive = std::weak_ptr<bool>(alive_), from_client, last, seq,
+                           chunk = std::move(chunk)]() {
+            const auto guard = alive.lock();
+            if (!guard || !*guard) return;
+            const std::uint8_t flags = TcpFlags::kAck | (last ? TcpFlags::kPsh : 0);
+            emit_data(from_client, seq, flags, std::move(const_cast<Bytes&>(chunk)));
+        });
+        at += config_.segment_interval;
+        tx.next_emit = at;
+        if (last) break;
+    }
+    if (tx.active && tx.acked < tx.data.size()) arm_rto(from_client);
+}
+
+void TcpConnection::arm_rto(bool from_client) {
+    StreamTx& tx = from_client ? client_tx_ : server_tx_;
+    const std::uint64_t epoch = ++tx.rto_epoch;
+    simulator_.after(config_.rto, [this, alive = std::weak_ptr<bool>(alive_), from_client,
+                                   epoch]() {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        StreamTx& timer_tx = from_client ? client_tx_ : server_tx_;
+        if (!timer_tx.active || timer_tx.rto_epoch != epoch) return;  // superseded
+        // Timeout: collapse the window and resend everything unacked.
+        timer_tx.ssthresh = std::max<std::size_t>(timer_tx.cwnd / 2, 2);
+        timer_tx.cwnd = config_.initial_cwnd;
+        timer_tx.duplicate_acks = 0;
+        timer_tx.next_offset = timer_tx.acked;
+        ++retransmits_;
+        transmit_more(from_client);
+    });
+}
+
+void TcpConnection::on_stream_ack(bool from_client, std::uint32_t ack_number) {
+    StreamTx& tx = from_client ? client_tx_ : server_tx_;
+    if (!tx.active) return;
+    // Signed 32-bit distance from the stream base; out-of-range ACKs belong
+    // to control segments (handshake/FIN) and are ignored here.
+    const auto distance = static_cast<std::int64_t>(
+        static_cast<std::int32_t>(ack_number - tx.base_seq));
+    if (distance < 0 || distance > static_cast<std::int64_t>(tx.data.size())) return;
+    const auto acked_bytes = static_cast<std::size_t>(distance);
+
+    if (acked_bytes > tx.acked) {
+        tx.acked = acked_bytes;
+        tx.duplicate_acks = 0;
+        if (tx.cwnd < tx.ssthresh) {
+            tx.cwnd += 1;  // slow start: doubles per round
+        } else if (tx.cwnd < config_.max_cwnd) {
+            tx.cwnd += 1;  // coarse congestion avoidance
+        }
+        if (tx.acked >= tx.data.size()) {
+            tx.active = false;
+            tx.data.clear();
+            ++tx.rto_epoch;  // cancel the timer
+            return;
+        }
+        transmit_more(from_client);
+        return;
+    }
+    if (acked_bytes == tx.acked && tx.acked < tx.data.size()) {
+        // Duplicate ACK: the receiver is missing the segment at `acked`.
+        if (++tx.duplicate_acks == 3) {
+            tx.duplicate_acks = 0;
+            tx.ssthresh = std::max<std::size_t>(tx.cwnd / 2, 2);
+            tx.cwnd = std::max(tx.cwnd / 2, config_.initial_cwnd);
+            tx.next_offset = tx.acked;  // fast retransmit (Go-Back-N)
+            ++retransmits_;
+            transmit_more(from_client);
+        }
+    }
+}
+
+void TcpConnection::close(std::function<void()> on_closed) {
+    if (state_ != State::kEstablished) return;
+    on_closed_ = std::move(on_closed);
+    state_ = State::kFinWait;
+    client_emit(TcpFlags::kFin | TcpFlags::kAck, {});
+}
+
+}  // namespace tvacr::sim

@@ -1,0 +1,151 @@
+// Simulated TCP connections between the TV station and a cloud server.
+//
+// Both endpoints' state machines live in one object: the client side emits
+// real frames up the Wi-Fi link (so the capture tap sees byte-accurate SYN /
+// data / ACK / FIN exchanges), and the server side emits real downlink frames
+// through the access point. Segmentation honours the MSS, every data segment
+// is acknowledged by the receiver, and delivery is FIFO per path, so no
+// retransmission machinery is needed (the simulated network is loss-free;
+// losses are out of scope for the black-box timing/volume analysis).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/access_point.hpp"
+#include "sim/cloud.hpp"
+#include "sim/station.hpp"
+
+namespace tvacr::sim {
+
+/// TCP behaviour knobs.
+struct TcpConfig {
+    std::size_t mss = 1460;
+    /// Intra-flight pacing between back-to-back segments (serialization
+    /// delay at the sender's NIC).
+    SimTime segment_interval = SimTime::micros(120);
+    /// Server think time between full request receipt and first response byte.
+    LatencyModel service_delay{SimTime::millis(3), SimTime::millis(2)};
+    /// Congestion control (RFC 6928-style slow start): initial window,
+    /// slow-start threshold (segments), and window cap.
+    std::size_t initial_cwnd = 10;
+    std::size_t ssthresh = 64;
+    std::size_t max_cwnd = 128;
+    /// Retransmission timeout (coarse, fixed; sim RTTs are tens of ms).
+    SimTime rto = SimTime::millis(250);
+};
+
+class TcpConnection {
+  public:
+    using Config = TcpConfig;
+
+    /// Server application: full request payload in, response payload out.
+    /// An empty response means the server only acknowledges.
+    using Responder = std::function<Bytes(BytesView)>;
+
+    TcpConnection(Simulator& simulator, Station& station, Cloud& cloud, net::Endpoint remote,
+                  Responder responder, Config config = Config());
+    ~TcpConnection();
+
+    TcpConnection(const TcpConnection&) = delete;
+    TcpConnection& operator=(const TcpConnection&) = delete;
+
+    /// Three-way handshake; `on_established` fires when the client's final
+    /// ACK has been emitted.
+    void connect(std::function<void()> on_established);
+
+    /// Request/response round trip. Exchanges queue and run serially.
+    void exchange(Bytes request, std::function<void(Bytes response)> on_response);
+
+    /// Graceful shutdown (FIN handshake). Safe to call once, after connect.
+    void close(std::function<void()> on_closed = {});
+
+    [[nodiscard]] bool established() const noexcept { return state_ == State::kEstablished; }
+    [[nodiscard]] bool closed() const noexcept { return state_ == State::kClosed; }
+    [[nodiscard]] net::Endpoint local() const noexcept { return local_; }
+    [[nodiscard]] net::Endpoint remote() const noexcept { return remote_; }
+    /// Data segments resent after a timeout or triple-duplicate ACK.
+    [[nodiscard]] std::uint64_t retransmitted_segments() const noexcept { return retransmits_; }
+
+  private:
+    enum class State { kIdle, kSynSent, kEstablished, kFinWait, kClosed };
+
+    struct Exchange {
+        Bytes request;
+        std::function<void(Bytes)> on_response;
+    };
+
+    // Client-side frame emission (up the Wi-Fi link).
+    void client_emit(std::uint8_t flags, BytesView payload);
+    // Server-side frame emission (down through the AP after path latency).
+    void server_emit(std::uint8_t flags, BytesView payload);
+
+    void on_client_segment_at_server(const net::ParsedPacket& packet);
+    void on_server_segment_at_client(const net::ParsedPacket& packet);
+
+    void start_next_exchange();
+    void send_stream(bool from_client, Bytes data);
+    void transmit_more(bool from_client);
+    void on_stream_ack(bool from_client, std::uint32_t ack_number);
+    void arm_rto(bool from_client);
+    void emit_data(bool from_client, std::uint32_t seq, std::uint8_t flags, Bytes chunk);
+
+    Simulator& simulator_;
+    Station& station_;
+    Cloud& cloud_;
+    AccessPoint& ap_;
+    net::Endpoint local_;
+    net::Endpoint remote_;
+    Responder responder_;
+    Config config_;
+    State state_ = State::kIdle;
+
+    // Sequence state. *_snd_nxt is the next byte to send; *_rcv_nxt the next
+    // expected byte from the peer.
+    std::uint32_t client_snd_nxt_ = 0;
+    std::uint32_t client_rcv_nxt_ = 0;
+    std::uint32_t server_snd_nxt_ = 0;
+    std::uint32_t server_rcv_nxt_ = 0;
+
+    // ACK-clocked transmit state per direction. Cumulative ACKs drive a
+    // slow-start/congestion-avoidance window; losses are repaired Go-Back-N
+    // style on a coarse RTO or on three duplicate ACKs (fast retransmit).
+    struct StreamTx {
+        Bytes data;
+        std::uint32_t base_seq = 0;  // sequence number of data[0]
+        std::size_t acked = 0;       // cumulatively acknowledged bytes
+        std::size_t next_offset = 0; // next byte to (re)transmit
+        std::size_t cwnd = 0;        // congestion window, in segments
+        std::size_t ssthresh = 0;
+        int duplicate_acks = 0;
+        bool active = false;
+        // Emission times are strictly monotone per stream so payload bytes
+        // and sequence numbers stay aligned on the FIFO links.
+        SimTime next_emit;
+        std::uint64_t rto_epoch = 0;  // bumping it cancels the armed timer
+    };
+    StreamTx client_tx_;
+    StreamTx server_tx_;
+    std::uint64_t retransmits_ = 0;
+
+    // In-flight application streams (reassembly is by arrival order thanks to
+    // FIFO paths; the maps guard against pathological jitter).
+    Bytes server_rx_buffer_;
+    std::size_t server_expected_ = 0;  // request size for the active exchange
+    Bytes client_rx_buffer_;
+    std::size_t client_expected_ = 0;  // response size for the active exchange
+
+    std::deque<Exchange> pending_;
+    bool exchange_active_ = false;
+    SimTime last_server_arrival_;  // FIFO clamp for server->AP segments
+    std::function<void()> on_established_;
+    std::function<void()> on_closed_;
+    std::function<void(Bytes)> on_response_;
+
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace tvacr::sim

@@ -1,0 +1,125 @@
+#include "sim/tls.hpp"
+
+#include <utility>
+
+namespace tvacr::sim {
+
+TlsSession::TlsSession(Simulator& simulator, Station& station, Cloud& cloud, net::Endpoint remote,
+                       App server_app, std::uint64_t seed, Profile profile,
+                       TcpConnection::Config tcp_config)
+    : simulator_(simulator),
+      station_(station),
+      profile_(profile),
+      server_app_(std::move(server_app)),
+      rng_(seed),
+      tcp_(simulator, station, cloud, remote,
+           // Server-side responder: during the handshake, answer the
+           // ClientHello with the server flight and the client Finished with
+           // a session ticket; afterwards, decrypt via the out-of-band
+           // plaintext handoff, run the app, and seal its reply.
+           [this](BytesView ciphertext) -> Bytes {
+               if (handshake_phase_) {
+                   if (ciphertext.size() == profile_.client_hello) {
+                       return random_bytes(profile_.server_flight);
+                   }
+                   handshake_phase_ = false;
+                   return random_bytes(64);  // NewSessionTicket-sized
+               }
+               Bytes plaintext;
+               if (!request_plaintexts_.empty()) {
+                   plaintext = std::move(request_plaintexts_.front());
+                   request_plaintexts_.pop_front();
+               }
+               Bytes response = server_app_ ? server_app_(plaintext) : Bytes{};
+               const std::size_t wire = sealed_size(response.empty() ? 1 : response.size());
+               response_plaintexts_.push_back(std::move(response));
+               return random_bytes(wire);
+           },
+           tcp_config) {}
+
+std::size_t TlsSession::sealed_size(std::size_t plaintext_size) const noexcept {
+    if (plaintext_size == 0) plaintext_size = 1;
+    const std::size_t records =
+        (plaintext_size + profile_.max_plaintext - 1) / profile_.max_plaintext;
+    return plaintext_size + records * profile_.record_overhead;
+}
+
+Bytes TlsSession::random_bytes(std::size_t count) {
+    Bytes out(count);
+    std::size_t i = 0;
+    while (i + 8 <= count) {
+        const std::uint64_t word = rng_();
+        for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    std::uint64_t word = rng_();
+    while (i < count) {
+        out[i++] = static_cast<std::uint8_t>(word);
+        word >>= 8;
+    }
+    return out;
+}
+
+void TlsSession::open(std::function<void()> on_ready) {
+    tcp_.connect([this, on_ready = std::move(on_ready)]() mutable {
+        // Flight 1: ClientHello -> ServerHello..Finished.
+        tcp_.exchange(random_bytes(profile_.client_hello),
+                      [this, on_ready = std::move(on_ready)](Bytes) mutable {
+                          // Flight 2: client Finished -> session ticket.
+                          tcp_.exchange(random_bytes(profile_.client_finished),
+                                        [this, on_ready = std::move(on_ready)](Bytes) {
+                                            ready_ = true;
+                                            while (!queued_sends_.empty()) {
+                                                QueuedSend queued = std::move(queued_sends_.front());
+                                                queued_sends_.pop_front();
+                                                send_now(std::move(queued.plaintext),
+                                                         std::move(queued.on_response));
+                                            }
+                                            if (on_ready) on_ready();
+                                        });
+                      });
+    });
+}
+
+void TlsSession::send(Bytes plaintext, std::function<void(Bytes response)> on_response) {
+    if (!ready_) {
+        queued_sends_.push_back(QueuedSend{std::move(plaintext), std::move(on_response)});
+        return;
+    }
+    send_now(std::move(plaintext), std::move(on_response));
+}
+
+void TlsSession::send_now(Bytes plaintext, std::function<void(Bytes)> on_response) {
+    if (plaintext.empty()) plaintext.push_back(0);
+    const std::size_t wire_size = sealed_size(plaintext.size());
+
+    // Lab MITM: with an interception tap on the AP, the proxy sees the
+    // request plaintext now and the response plaintext on completion.
+    AccessPoint* ap = station_.access_point();
+    if (ap != nullptr && ap->mitm_enabled()) {
+        ap->report_mitm(AccessPoint::MitmRecord{simulator_.now(), tcp_.remote(), true,
+                                                plaintext});
+    }
+
+    request_plaintexts_.push_back(std::move(plaintext));
+    tcp_.exchange(random_bytes(wire_size),
+                  [this, on_response = std::move(on_response)](Bytes) {
+                      Bytes response;
+                      if (!response_plaintexts_.empty()) {
+                          response = std::move(response_plaintexts_.front());
+                          response_plaintexts_.pop_front();
+                      }
+                      AccessPoint* ap = station_.access_point();
+                      if (ap != nullptr && ap->mitm_enabled()) {
+                          ap->report_mitm(AccessPoint::MitmRecord{
+                              simulator_.now(), tcp_.remote(), false, response});
+                      }
+                      if (on_response) on_response(std::move(response));
+                  });
+}
+
+void TlsSession::close(std::function<void()> on_closed) {
+    ready_ = false;
+    tcp_.close(std::move(on_closed));
+}
+
+}  // namespace tvacr::sim

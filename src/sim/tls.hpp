@@ -1,0 +1,91 @@
+// A TLS-shaped session over TcpConnection.
+//
+// The audit is black-box: the analysis never decrypts payloads, it only sees
+// record sizes and timing. This layer therefore models exactly what a capture
+// shows — a handshake flight exchange with realistic sizes, followed by
+// application data wrapped in records (5-byte header + AEAD overhead per
+// record, 16 KiB max plaintext per record) whose wire bytes are
+// pseudo-random. Server-side plaintext is carried out-of-band inside the
+// process, which is sound because both endpoints are ours.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/tcp.hpp"
+
+namespace tvacr::sim {
+
+/// Size model of a TLS 1.3 session as seen on the wire.
+struct TlsProfile {
+    std::size_t client_hello = 517;     // typical padded TLS1.3 ClientHello
+    std::size_t server_flight = 4300;   // ServerHello + cert chain + Finished
+    std::size_t client_finished = 133;  // client Finished flight
+    std::size_t record_overhead = 22;   // header(5) + tag(16) + content type(1)
+    std::size_t max_plaintext = 16384;  // per TLS record
+};
+
+class TlsSession {
+  public:
+    using Profile = TlsProfile;
+
+    /// Server application behaviour: plaintext request -> plaintext response.
+    using App = std::function<Bytes(BytesView)>;
+
+    TlsSession(Simulator& simulator, Station& station, Cloud& cloud, net::Endpoint remote,
+               App server_app, std::uint64_t seed, Profile profile = Profile(),
+               TcpConnection::Config tcp_config = TcpConnection::Config());
+
+    TlsSession(const TlsSession&) = delete;
+    TlsSession& operator=(const TlsSession&) = delete;
+
+    /// TCP connect + TLS handshake. `on_ready` fires once application data
+    /// may flow.
+    void open(std::function<void()> on_ready);
+
+    /// Sends plaintext; `on_response` receives the server app's plaintext
+    /// reply. Wire sizes reflect record framing of both directions.
+    void send(Bytes plaintext, std::function<void(Bytes response)> on_response);
+
+    void close(std::function<void()> on_closed = {});
+
+    [[nodiscard]] bool ready() const noexcept { return ready_; }
+    [[nodiscard]] bool closed() const noexcept { return tcp_.closed(); }
+    [[nodiscard]] const TcpConnection& transport() const noexcept { return tcp_; }
+
+    /// Ciphertext size for a given plaintext size under this profile.
+    [[nodiscard]] std::size_t sealed_size(std::size_t plaintext_size) const noexcept;
+
+  private:
+    [[nodiscard]] Bytes random_bytes(std::size_t count);
+
+    Simulator& simulator_;
+    Station& station_;
+    Profile profile_;
+    App server_app_;
+    Rng rng_;
+    bool ready_ = false;
+
+    // Plaintext handoff between the in-process endpoints. TcpConnection runs
+    // exchanges strictly FIFO, so request plaintexts pushed by send() are
+    // consumed in order by the server responder, and response plaintexts are
+    // consumed in order by the client completion callbacks.
+    std::deque<Bytes> request_plaintexts_;
+    std::deque<Bytes> response_plaintexts_;
+    bool handshake_phase_ = true;
+
+    // Application sends issued before the handshake completes wait here so
+    // they cannot jump ahead of the handshake flights in the TCP queue.
+    struct QueuedSend {
+        Bytes plaintext;
+        std::function<void(Bytes)> on_response;
+    };
+    std::deque<QueuedSend> queued_sends_;
+
+    void send_now(Bytes plaintext, std::function<void(Bytes)> on_response);
+
+    TcpConnection tcp_;  // declared last: its responder captures `this`
+};
+
+}  // namespace tvacr::sim

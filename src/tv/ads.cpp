@@ -1,0 +1,69 @@
+#include "tv/ads.hpp"
+
+namespace tvacr::tv {
+
+std::vector<AdCreative> builtin_creatives() {
+    return {
+        {1, "Stadium Season Tickets", "sports-enthusiast"},
+        {2, "Sports Streaming Add-on", "sports-enthusiast"},
+        {3, "Morning Newspaper Digital", "news-junkie"},
+        {4, "Toy Store Holiday Sale", "household-with-children"},
+        {5, "Theme Park Family Pass", "household-with-children"},
+        {6, "Premium Drama Channel", "binge-watcher"},
+        {7, "Gaming Console Bundle", "gamer"},
+        {8, "Cashback Credit Card", "shopping-intender"},
+        {9, "Broadband Upgrade", "heavy-viewer"},
+        {10, "Grocery Delivery Intro Offer", ""},
+        {11, "Phone Carrier Switch", ""},
+        {12, "Insurance Comparison", ""},
+        {13, "Energy Tariff Offer", ""},
+    };
+}
+
+AdDecisionService::AdDecisionService(const fp::AudienceProfiler& profiler, std::uint64_t seed,
+                                     Options options)
+    : profiler_(profiler),
+      rng_(derive_seed(seed, 0xAD5)),
+      options_(options),
+      creatives_(builtin_creatives()) {
+    for (const auto& creative : creatives_) {
+        if (creative.target_segment.empty()) untargeted_.push_back(&creative);
+    }
+}
+
+const AdCreative* AdDecisionService::creative_for_segment(const std::string& segment) const {
+    for (const auto& creative : creatives_) {
+        if (creative.target_segment == segment) return &creative;
+    }
+    return nullptr;
+}
+
+const AdCreative& AdDecisionService::run_of_network() {
+    return *untargeted_[static_cast<std::size_t>(
+        rng_.uniform(0, static_cast<std::int64_t>(untargeted_.size()) - 1))];
+}
+
+AdDecisionService::Decision AdDecisionService::select(std::uint64_t device_id) {
+    ++decisions_;
+    const auto segments = profiler_.segments(device_id);
+    if (!segments.empty() && rng_.chance(options_.targeting_rate)) {
+        // Prefer the most specific segment with demand (skip the generic
+        // catch-alls when a behavioural segment exists).
+        for (const auto& segment : segments) {
+            if (segment == "general-audience" || segment == "heavy-viewer") continue;
+            if (const AdCreative* creative = creative_for_segment(segment)) {
+                ++personalized_;
+                return Decision{*creative, true, segment};
+            }
+        }
+        for (const auto& segment : segments) {
+            if (const AdCreative* creative = creative_for_segment(segment)) {
+                ++personalized_;
+                return Decision{*creative, true, segment};
+            }
+        }
+    }
+    return Decision{run_of_network(), false, {}};
+}
+
+}  // namespace tvacr::tv

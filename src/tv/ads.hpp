@@ -1,0 +1,72 @@
+// The link between ACR tracking and ad personalization (paper §6 future
+// work): the platform's ad arm consumes the audience segments the ACR
+// profiler produced and targets home-screen ad placements with them.
+//
+// This closes the paper's Figure-1 loop end to end: screen pixels ->
+// fingerprints -> matches -> segments -> the ads the household then sees.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fp/segments.hpp"
+
+namespace tvacr::tv {
+
+/// A display creative with the audience segment it is bought against.
+struct AdCreative {
+    std::uint64_t id = 0;
+    std::string name;
+    std::string target_segment;  // empty = run-of-network (untargeted)
+};
+
+/// Builtin creative pool covering every segment the profiler can emit.
+[[nodiscard]] std::vector<AdCreative> builtin_creatives();
+
+/// Ad-decisioning knobs.
+struct AdOptions {
+    /// Probability that a placement for a profiled device is filled by a
+    /// segment-targeted creative rather than run-of-network.
+    double targeting_rate = 0.75;
+};
+
+class AdDecisionService {
+  public:
+    using Options = AdOptions;
+
+    AdDecisionService(const fp::AudienceProfiler& profiler, std::uint64_t seed,
+                      Options options = Options());
+
+    struct Decision {
+        AdCreative creative;
+        bool personalized = false;
+        std::string matched_segment;  // which segment drove the choice
+    };
+
+    /// Fills one home-screen ad slot for a device. Devices without a
+    /// viewing profile (opted out, or never matched) always receive
+    /// run-of-network rotation.
+    [[nodiscard]] Decision select(std::uint64_t device_id);
+
+    [[nodiscard]] std::uint64_t decisions_made() const noexcept { return decisions_; }
+    [[nodiscard]] std::uint64_t personalized_decisions() const noexcept {
+        return personalized_;
+    }
+
+  private:
+    [[nodiscard]] const AdCreative* creative_for_segment(const std::string& segment) const;
+    [[nodiscard]] const AdCreative& run_of_network();
+
+    const fp::AudienceProfiler& profiler_;
+    Rng rng_;
+    Options options_;
+    std::vector<AdCreative> creatives_;
+    std::vector<const AdCreative*> untargeted_;
+    std::uint64_t decisions_ = 0;
+    std::uint64_t personalized_ = 0;
+};
+
+}  // namespace tvacr::tv

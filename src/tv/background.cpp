@@ -1,0 +1,109 @@
+#include "tv/background.hpp"
+
+namespace tvacr::tv {
+
+namespace {
+
+template <typename F>
+auto guarded(const std::shared_ptr<bool>& alive, F fn) {
+    return [alive = std::weak_ptr<bool>(alive), fn = std::move(fn)](auto&&... args) mutable {
+        const auto lock = alive.lock();
+        if (!lock || !*lock) return;
+        fn(std::forward<decltype(args)>(args)...);
+    };
+}
+
+Bytes filler(std::size_t size) { return Bytes(size, 0x42); }
+
+}  // namespace
+
+BackgroundServices::BackgroundServices(Wiring wiring, const PlatformProfile& profile,
+                                       std::uint64_t seed)
+    : wiring_(wiring), profile_(profile), rng_(derive_seed(seed, 0xBA16)) {}
+
+BackgroundServices::~BackgroundServices() { stop(); }
+
+void BackgroundServices::start(Scenario scenario) {
+    if (running_) return;
+    running_ = true;
+    scenario_ = scenario;
+
+    // Platform chatter: the non-ACR domains ping periodically with
+    // *irregular* cadence (the paper notes ad/tracking domains like
+    // samsungads.com lack the regular contact pattern ACR endpoints show).
+    std::size_t index = 0;
+    for (const auto& domain : profile_.other_domains) {
+        const SimTime period = SimTime::seconds(60 + 37 * static_cast<std::int64_t>(index % 5));
+        open_ping_flow(domain, period, 380 + 90 * (index % 3), 700 + 250 * (index % 4));
+        ++index;
+    }
+    if (scenario_ == Scenario::kOtt) open_cdn_flow();
+}
+
+void BackgroundServices::stop() {
+    if (!running_) return;
+    running_ = false;
+    *alive_ = false;
+    alive_ = std::make_shared<bool>(true);
+    flows_.clear();
+}
+
+void BackgroundServices::ping_loop(Flow* flow, SimTime period, std::size_t request_size) {
+    // Irregular cadence: period +/- 40% jitter per tick.
+    const std::int64_t base = period.as_micros();
+    const SimTime next = SimTime::micros(base + rng_.uniform(-base * 2 / 5, base * 2 / 5));
+    wiring_.simulator.after(next, guarded(alive_, [this, flow, period, request_size]() {
+                                flow->tls->send(filler(request_size), [](Bytes) {});
+                                ++pings_sent_;
+                                ping_loop(flow, period, request_size);
+                            }));
+}
+
+void BackgroundServices::open_ping_flow(const std::string& domain, SimTime period,
+                                        std::size_t request_size, std::size_t response_size) {
+    wiring_.resolver.resolve(
+        domain, guarded(alive_, [this, period, request_size,
+                                 response_size](std::optional<net::Ipv4Address> address) {
+            if (!address) return;
+            auto flow = std::make_unique<Flow>();
+            flow->tls = std::make_unique<sim::TlsSession>(
+                wiring_.simulator, wiring_.station, wiring_.cloud,
+                net::Endpoint{*address, 443},
+                [response_size](BytesView) { return filler(response_size); },
+                derive_seed(address->value(), 0xF10));
+            Flow* raw = flow.get();
+            flows_.push_back(std::move(flow));
+            raw->tls->open(guarded(
+                alive_, [this, raw, period, request_size]() { ping_loop(raw, period, request_size); }));
+        }));
+}
+
+void BackgroundServices::cdn_loop(Flow* flow) {
+    // One ~64 KiB media segment roughly every 8 s while streaming.
+    const SimTime next = SimTime::micros(8'000'000 + rng_.uniform(-1'500'000, 1'500'000));
+    wiring_.simulator.after(next, guarded(alive_, [this, flow]() {
+                                flow->tls->send(filler(900), [this](Bytes) {
+                                    ++segments_fetched_;
+                                });
+                                cdn_loop(flow);
+                            }));
+}
+
+void BackgroundServices::open_cdn_flow() {
+    wiring_.resolver.resolve(
+        kOttCdnDomain, guarded(alive_, [this](std::optional<net::Ipv4Address> address) {
+            if (!address) return;
+            auto flow = std::make_unique<Flow>();
+            flow->tls = std::make_unique<sim::TlsSession>(
+                wiring_.simulator, wiring_.station, wiring_.cloud,
+                net::Endpoint{*address, 443},
+                // Each request fetches one media segment (~64 KiB).
+                [](BytesView) { return Bytes(64 * 1024, 0xCD); },
+                derive_seed(address->value(), 0xCD17));
+            Flow* raw = flow.get();
+            flows_.push_back(std::move(flow));
+            raw->tls->open(guarded(alive_, [this, raw]() { cdn_loop(raw); }));
+        }));
+}
+
+}  // namespace tvacr::tv

@@ -1,0 +1,71 @@
+// Non-ACR platform traffic: app-store pings, ad-platform telemetry, time
+// sync, and — in the OTT scenario — bulk video segment fetches from a
+// streaming CDN. This traffic is what the ACR-domain identifier must *not*
+// flag: it gives the analysis layer a realistic haystack.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/dns_client.hpp"
+#include "sim/tcp.hpp"
+#include "sim/tls.hpp"
+#include "tv/platform.hpp"
+#include "tv/scenario.hpp"
+
+namespace tvacr::tv {
+
+/// CDN contacted by the third-party streaming app in the OTT scenario.
+inline constexpr const char* kOttCdnDomain = "oca-edge-1.ottvideo.net";
+/// Peer device mirrored in the Screen Cast scenario (LAN mDNS-style chatter
+/// is out of scope; the cast *content* arrives over the LAN, not the WAN).
+inline constexpr const char* kCastHelperDomain = "cast-config.ottvideo.net";
+
+class BackgroundServices {
+  public:
+    struct Wiring {
+        sim::Simulator& simulator;
+        sim::Station& station;
+        sim::Cloud& cloud;
+        sim::DnsClient& resolver;
+    };
+
+    BackgroundServices(Wiring wiring, const PlatformProfile& profile, std::uint64_t seed);
+    ~BackgroundServices();
+
+    BackgroundServices(const BackgroundServices&) = delete;
+    BackgroundServices& operator=(const BackgroundServices&) = delete;
+
+    /// Starts platform chatter; `scenario` adds scenario-specific flows
+    /// (OTT: CDN segment fetches).
+    void start(Scenario scenario);
+    void stop();
+
+    [[nodiscard]] bool running() const noexcept { return running_; }
+    [[nodiscard]] std::uint64_t pings_sent() const noexcept { return pings_sent_; }
+    [[nodiscard]] std::uint64_t segments_fetched() const noexcept { return segments_fetched_; }
+
+  private:
+    struct Flow {
+        std::unique_ptr<sim::TlsSession> tls;
+    };
+
+    void open_ping_flow(const std::string& domain, SimTime period, std::size_t request_size,
+                        std::size_t response_size);
+    void open_cdn_flow();
+    void ping_loop(Flow* flow, SimTime period, std::size_t request_size);
+    void cdn_loop(Flow* flow);
+
+    Wiring wiring_;
+    PlatformProfile profile_;
+    Rng rng_;
+    bool running_ = false;
+    Scenario scenario_ = Scenario::kIdle;
+    std::vector<std::unique_ptr<Flow>> flows_;
+    std::uint64_t pings_sent_ = 0;
+    std::uint64_t segments_fetched_ = 0;
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace tvacr::tv

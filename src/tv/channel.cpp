@@ -1,0 +1,53 @@
+#include "tv/channel.hpp"
+
+#include "common/rng.hpp"
+
+namespace tvacr::tv {
+
+void ChannelSchedule::append(fp::ContentInfo content, SimTime duration) {
+    if (duration > content.duration) duration = content.duration;
+    slots_.push_back(Slot{std::move(content), duration});
+    cycle_ += duration;
+}
+
+ChannelSchedule::Playing ChannelSchedule::at(SimTime t) const {
+    if (slots_.empty() || cycle_.as_micros() <= 0) return {};
+    SimTime within = SimTime::micros(t.as_micros() % cycle_.as_micros());
+    for (const auto& slot : slots_) {
+        if (within < slot.duration) return Playing{&slot.content, within};
+        within -= slot.duration;
+    }
+    return Playing{&slots_.back().content, slots_.back().duration};
+}
+
+ChannelSchedule make_broadcast_channel(const std::vector<fp::ContentInfo>& catalog,
+                                       SimTime break_interval, std::uint64_t seed) {
+    ChannelSchedule schedule;
+    Rng rng(seed);
+    std::vector<const fp::ContentInfo*> programmes;
+    std::vector<const fp::ContentInfo*> ads;
+    for (const auto& info : catalog) {
+        if (info.kind == fp::ContentKind::kAdvertisement) {
+            ads.push_back(&info);
+        } else if (info.kind == fp::ContentKind::kLiveBroadcast ||
+                   info.kind == fp::ContentKind::kFastChannel) {
+            programmes.push_back(&info);
+        }
+    }
+    if (programmes.empty()) return schedule;
+
+    // Four programme segments per cycle, each followed by an ad break.
+    for (int segment = 0; segment < 4; ++segment) {
+        const auto* programme =
+            programmes[static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(programmes.size()) - 1))];
+        schedule.append(*programme, break_interval);
+        for (int spot = 0; spot < 2 && !ads.empty(); ++spot) {
+            const auto* ad =
+                ads[static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(ads.size()) - 1))];
+            schedule.append(*ad, SimTime::seconds(30));
+        }
+    }
+    return schedule;
+}
+
+}  // namespace tvacr::tv

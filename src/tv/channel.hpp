@@ -1,0 +1,45 @@
+// Channel schedules: what a linear/FAST channel actually plays over time —
+// programmes interleaved with ad breaks, looped. Both the TV's screen and
+// the ACR backend's content library draw from the same catalog, so the
+// match server recognizes channel content and the audience profiler sees a
+// realistic mix of programme and ad exposures.
+#pragma once
+
+#include <vector>
+
+#include "fp/library.hpp"
+
+namespace tvacr::tv {
+
+class ChannelSchedule {
+  public:
+    struct Slot {
+        fp::ContentInfo content;
+        SimTime duration;  // may be shorter than the content's full length
+    };
+
+    void append(fp::ContentInfo content, SimTime duration);
+
+    /// Content playing at wall time `t` (the schedule loops). Returns the
+    /// slot and the offset within its content.
+    struct Playing {
+        const fp::ContentInfo* content = nullptr;
+        SimTime offset;
+    };
+    [[nodiscard]] Playing at(SimTime t) const;
+
+    [[nodiscard]] SimTime cycle_length() const noexcept { return cycle_; }
+    [[nodiscard]] const std::vector<Slot>& slots() const noexcept { return slots_; }
+
+  private:
+    std::vector<Slot> slots_;
+    SimTime cycle_;
+};
+
+/// Builds a broadcast-style channel from a catalog: programmes with an ad
+/// break (two spots) roughly every `break_interval`.
+[[nodiscard]] ChannelSchedule make_broadcast_channel(const std::vector<fp::ContentInfo>& catalog,
+                                                     SimTime break_interval,
+                                                     std::uint64_t seed);
+
+}  // namespace tvacr::tv

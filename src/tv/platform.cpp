@@ -1,0 +1,64 @@
+#include "tv/platform.hpp"
+
+namespace tvacr::tv {
+
+std::string rotated_name(const std::string& pattern, int rotation) {
+    const auto pos = pattern.find('X');
+    if (pos == std::string::npos) return pattern;
+    return pattern.substr(0, pos) + std::to_string(rotation) + pattern.substr(pos + 1);
+}
+
+std::vector<std::string> PlatformProfile::boot_domains(int rotation) const {
+    std::vector<std::string> out;
+    for (const auto& domain : acr_domains) {
+        out.push_back(domain.rotates ? rotated_name(domain.name, rotation) : domain.name);
+    }
+    out.insert(out.end(), other_domains.begin(), other_domains.end());
+    return out;
+}
+
+PlatformProfile platform_profile(Brand brand, Country country) {
+    PlatformProfile profile;
+    profile.brand = brand;
+    profile.country = country;
+
+    if (brand == Brand::kLg) {
+        // LG talks to a single Alphonso endpoint; the number rotates.
+        if (country == Country::kUk) {
+            profile.acr_domains = {{"eu-acrX.alphonso.tv", AcrDomainRole::kFingerprint, true}};
+        } else {
+            profile.acr_domains = {{"tkacrX.alphonso.tv", AcrDomainRole::kFingerprint, true}};
+        }
+        profile.other_domains = {
+            "lgtvsdp.com",          "us.info.lgsmartad.com", "ngfts.lge.com",
+            "snu.lge.com",          "lgappstv.com",          "ntp.lge.com",
+        };
+        // Table 1: LG has a dedicated "Voice information agreement".
+        profile.voice_domain = "aic-common.lgthinq.com";
+    } else {
+        if (country == Country::kUk) {
+            profile.acr_domains = {
+                {"acr-eu-prd.samsungcloud.tv", AcrDomainRole::kFingerprint, false},
+                {"acr0.samsungcloudsolution.com", AcrDomainRole::kKeepAlive, false},
+                {"log-config.samsungacr.com", AcrDomainRole::kLogConfig, false},
+                {"log-ingestion-eu.samsungacr.com", AcrDomainRole::kLogIngestion, false},
+            };
+        } else {
+            // The US set omits the acr0 keep-alive domain (paper §4.3) and
+            // drops the -eu suffix on ingestion.
+            profile.acr_domains = {
+                {"acr-us-prd.samsungcloud.tv", AcrDomainRole::kFingerprint, false},
+                {"log-config.samsungacr.com", AcrDomainRole::kLogConfig, false},
+                {"log-ingestion.samsungacr.com", AcrDomainRole::kLogIngestion, false},
+            };
+        }
+        profile.other_domains = {
+            "samsungads.com",       "config.samsungads.com", "samsungcloudsolution.net",
+            "samsungotn.net",       "time.samsungcloudsolution.com",
+            "art.samsungcloud.tv",
+        };
+    }
+    return profile;
+}
+
+}  // namespace tvacr::tv

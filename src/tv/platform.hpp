@@ -1,0 +1,51 @@
+// Platform domain sets per brand and country, exactly as observed in the
+// paper (§4.1 and §4.3), plus the non-ACR platform/advertising domains the
+// TVs also contact (the analysis must discriminate ACR traffic from these).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tv/privacy.hpp"
+
+namespace tvacr::tv {
+
+/// Roles an ACR-related endpoint plays; drives the client's schedule.
+enum class AcrDomainRole {
+    kFingerprint,   // receives fingerprint batches (the high-volume channel)
+    kKeepAlive,     // connection persistence pings (acr0.samsungcloudsolution)
+    kLogConfig,     // configuration fetch (log-config.samsungacr.com)
+    kLogIngestion,  // telemetry events (log-ingestion[-eu].samsungacr.com)
+};
+
+struct AcrDomain {
+    std::string name;
+    AcrDomainRole role;
+    /// Rotating numeric domains (eu-acrX/tkacrX.alphonso.tv) render with the
+    /// current X substituted; non-rotating domains ignore it.
+    bool rotates = false;
+};
+
+struct PlatformProfile {
+    Brand brand;
+    Country country;
+    std::vector<AcrDomain> acr_domains;
+    /// Non-ACR domains the platform talks to regardless (ads, store, time,
+    /// telemetry) — realistic background the ACR identifier must reject.
+    std::vector<std::string> other_domains;
+    /// Voice-assistant endpoint, gated by its own consent toggle (empty when
+    /// the brand has no voice agreement in Table 1).
+    std::string voice_domain;
+    /// Domains resolved in the boot-time DNS burst (union of the above).
+    [[nodiscard]] std::vector<std::string> boot_domains(int rotation) const;
+};
+
+/// Renders a rotating domain with its current number, e.g.
+/// ("eu-acrX.alphonso.tv", 7) -> "eu-acr7.alphonso.tv".
+[[nodiscard]] std::string rotated_name(const std::string& pattern, int rotation);
+
+/// The observed domain sets (paper §4.1 UK, §4.3 US).
+[[nodiscard]] PlatformProfile platform_profile(Brand brand, Country country);
+
+}  // namespace tvacr::tv

@@ -1,0 +1,63 @@
+#include "tv/voice.hpp"
+
+namespace tvacr::tv {
+
+namespace {
+
+template <typename F>
+auto guarded(const std::shared_ptr<bool>& alive, F fn) {
+    return [alive = std::weak_ptr<bool>(alive), fn = std::move(fn)](auto&&... args) mutable {
+        const auto lock = alive.lock();
+        if (!lock || !*lock) return;
+        fn(std::forward<decltype(args)>(args)...);
+    };
+}
+
+}  // namespace
+
+VoiceAssistant::VoiceAssistant(Wiring wiring, std::string domain, std::uint64_t seed)
+    : wiring_(wiring), domain_(std::move(domain)), rng_(derive_seed(seed, 0x701CE)) {}
+
+VoiceAssistant::~VoiceAssistant() { stop(); }
+
+void VoiceAssistant::start() {
+    if (running_) return;
+    running_ = true;
+    wiring_.resolver.resolve(
+        domain_, guarded(alive_, [this](std::optional<net::Ipv4Address> address) {
+            if (!address || !running_) return;
+            tls_ = std::make_unique<sim::TlsSession>(
+                wiring_.simulator, wiring_.station, wiring_.cloud,
+                net::Endpoint{*address, 443},
+                [](BytesView) { return Bytes(320, 0x70); },  // model-sync response
+                derive_seed(address->value(), 0x70));
+            tls_->open(guarded(alive_, [this]() { tick(); }));
+        }));
+}
+
+void VoiceAssistant::stop() {
+    if (!running_) return;
+    running_ = false;
+    *alive_ = false;
+    alive_ = std::make_shared<bool>(true);
+    tls_.reset();
+}
+
+void VoiceAssistant::tick() {
+    // Wake-word model sync every ~3 minutes; one in four ticks also carries
+    // an utterance clip (the household talked to the remote).
+    const SimTime next =
+        SimTime::seconds(180) + SimTime::micros(rng_.uniform(-20'000'000, 20'000'000));
+    wiring_.simulator.after(next, guarded(alive_, [this]() {
+                                if (!running_ || !tls_) return;
+                                std::size_t size = 450;
+                                if (rng_.chance(0.25)) {
+                                    size += 5200;  // compressed utterance audio
+                                    ++utterances_;
+                                }
+                                tls_->send(Bytes(size, 0x71), [](Bytes) {});
+                                tick();
+                            }));
+}
+
+}  // namespace tvacr::tv

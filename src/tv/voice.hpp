@@ -1,0 +1,51 @@
+// Voice assistant telemetry — the service behind Table 1's "Voice
+// information agreement" toggle (LG). Independent of ACR: its own endpoint,
+// its own consent gate. Exercises the finding that the TV's privacy toggles
+// control *different* services, with no universal off switch.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/dns_client.hpp"
+#include "sim/tls.hpp"
+
+namespace tvacr::tv {
+
+class VoiceAssistant {
+  public:
+    struct Wiring {
+        sim::Simulator& simulator;
+        sim::Station& station;
+        sim::Cloud& cloud;
+        sim::DnsClient& resolver;
+    };
+
+    VoiceAssistant(Wiring wiring, std::string domain, std::uint64_t seed);
+    ~VoiceAssistant();
+
+    VoiceAssistant(const VoiceAssistant&) = delete;
+    VoiceAssistant& operator=(const VoiceAssistant&) = delete;
+
+    /// Opens the voice channel and starts periodic wake-word model syncs
+    /// plus occasional utterance uploads.
+    void start();
+    void stop();
+
+    [[nodiscard]] bool running() const noexcept { return running_; }
+    [[nodiscard]] const std::string& domain() const noexcept { return domain_; }
+    [[nodiscard]] std::uint64_t utterances_uploaded() const noexcept { return utterances_; }
+
+  private:
+    void tick();
+
+    Wiring wiring_;
+    std::string domain_;
+    Rng rng_;
+    bool running_ = false;
+    std::unique_ptr<sim::TlsSession> tls_;
+    std::uint64_t utterances_ = 0;
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace tvacr::tv

@@ -1,0 +1,385 @@
+// Tests for the traffic-analysis layer: DNS harvesting, per-domain
+// attribution, time series / burst / period inference, cumulative curves,
+// the ACR-domain identifier and report rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/acr_detect.hpp"
+#include "analysis/cdf.hpp"
+#include "analysis/report.hpp"
+#include "analysis/timeseries.hpp"
+#include "analysis/traffic.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "dns/message.hpp"
+
+namespace tvacr::analysis {
+namespace {
+
+using net::Ipv4Address;
+
+const Ipv4Address kDevice(192, 168, 4, 23);
+const Ipv4Address kResolver(9, 9, 9, 9);
+const Ipv4Address kServer(23, 0, 1, 10);
+
+net::Packet dns_response_packet(const std::string& name, Ipv4Address address, SimTime t) {
+    const auto domain = dns::DomainName::parse(name).value();
+    const auto query = make_query(7, domain, dns::RecordType::kA);
+    const auto response =
+        make_response(query, {dns::ResourceRecord::a(domain, address)},
+                      dns::ResponseCode::kNoError);
+    const net::FrameBuilder builder(net::MacAddress::local(2), net::MacAddress::local(1));
+    return builder.udp(t, net::Endpoint{kResolver, dns::kDnsPort},
+                       net::Endpoint{kDevice, 40000}, response.encode());
+}
+
+net::Packet tcp_packet(Ipv4Address src, Ipv4Address dst, SimTime t, std::size_t payload_size) {
+    const net::FrameBuilder builder(net::MacAddress::local(1), net::MacAddress::local(2));
+    const std::uint16_t src_port = src == kDevice ? 50000 : 443;
+    const std::uint16_t dst_port = dst == kDevice ? 50000 : 443;
+    return builder.tcp(t, net::Endpoint{src, src_port}, net::Endpoint{dst, dst_port}, 1, 1,
+                       net::TcpFlags::kAck, Bytes(payload_size, 0xEE));
+}
+
+// ------------------------------------------------------------------ DnsMap
+
+TEST(DnsMapTest, HarvestsAddressMappings) {
+    DnsMap map;
+    const auto packet = dns_response_packet("acr-eu-prd.samsungcloud.tv", kServer, SimTime{});
+    map.ingest(net::parse_packet(packet).value());
+    EXPECT_EQ(map.responses_seen(), 1U);
+    ASSERT_TRUE(map.domain_of(kServer).has_value());
+    EXPECT_EQ(*map.domain_of(kServer), "acr-eu-prd.samsungcloud.tv");
+    EXPECT_FALSE(map.domain_of(Ipv4Address(1, 1, 1, 1)).has_value());
+}
+
+TEST(DnsMapTest, FirstMappingWins) {
+    DnsMap map;
+    map.ingest(net::parse_packet(dns_response_packet("first.example.com", kServer, SimTime{}))
+                   .value());
+    map.ingest(net::parse_packet(dns_response_packet("second.example.com", kServer, SimTime{}))
+                   .value());
+    EXPECT_EQ(*map.domain_of(kServer), "first.example.com");
+    EXPECT_EQ(map.queried_names().size(), 2U);
+}
+
+TEST(DnsMapTest, IgnoresNonDnsTraffic) {
+    DnsMap map;
+    map.ingest(net::parse_packet(tcp_packet(kDevice, kServer, SimTime{}, 100)).value());
+    EXPECT_EQ(map.responses_seen(), 0U);
+    EXPECT_EQ(map.mapping_count(), 0U);
+}
+
+// --------------------------------------------------------- CaptureAnalyzer
+
+TEST(CaptureAnalyzerTest, AttributesTrafficByDomainAndDirection) {
+    CaptureAnalyzer analyzer(kDevice);
+    analyzer.ingest(dns_response_packet("acr-eu-prd.samsungcloud.tv", kServer, SimTime::millis(1)));
+    analyzer.ingest(tcp_packet(kDevice, kServer, SimTime::millis(10), 1000));  // up
+    analyzer.ingest(tcp_packet(kServer, kDevice, SimTime::millis(20), 300));   // down
+
+    const auto* stats = analyzer.find("acr-eu-prd.samsungcloud.tv");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->packets, 2U);
+    EXPECT_EQ(stats->bytes_up, 1000U + 54U);
+    EXPECT_EQ(stats->bytes_down, 300U + 54U);
+    EXPECT_EQ(stats->events.size(), 2U);
+    EXPECT_TRUE(stats->events[0].device_to_server);
+    EXPECT_FALSE(stats->events[1].device_to_server);
+    EXPECT_NEAR(analyzer.kilobytes_for("acr-eu-prd.samsungcloud.tv"), 1.408, 0.001);
+}
+
+TEST(CaptureAnalyzerTest, UnresolvedIpsGetPlaceholderDomain) {
+    CaptureAnalyzer analyzer(kDevice);
+    analyzer.ingest(tcp_packet(kDevice, Ipv4Address(8, 8, 4, 4), SimTime{}, 64));
+    const auto domains = analyzer.domains_by_bytes();
+    ASSERT_EQ(domains.size(), 1U);
+    ASSERT_NE(analyzer.find("unresolved:8.8.4.4"), nullptr);
+    EXPECT_EQ(analyzer.find("unresolved:8.8.4.4")->packets, 1U);
+}
+
+TEST(CaptureAnalyzerTest, SortsByBytes) {
+    CaptureAnalyzer analyzer(kDevice);
+    analyzer.ingest(dns_response_packet("small.example.com", Ipv4Address(23, 0, 1, 1), SimTime{}));
+    analyzer.ingest(dns_response_packet("big.example.com", Ipv4Address(23, 0, 2, 1), SimTime{}));
+    analyzer.ingest(tcp_packet(kDevice, Ipv4Address(23, 0, 1, 1), SimTime{}, 10));
+    analyzer.ingest(tcp_packet(kDevice, Ipv4Address(23, 0, 2, 1), SimTime{}, 5000));
+    const auto sorted = analyzer.domains_by_bytes();
+    ASSERT_GE(sorted.size(), 2U);
+    EXPECT_EQ(sorted[0]->domain, "big.example.com");
+}
+
+// -------------------------------------------------------------- timeseries
+
+std::vector<PacketEvent> periodic_events(SimTime period, int count, std::uint32_t size = 100,
+                                         int packets_per_burst = 3) {
+    std::vector<PacketEvent> events;
+    for (int i = 0; i < count; ++i) {
+        for (int j = 0; j < packets_per_burst; ++j) {
+            events.push_back(PacketEvent{period * i + SimTime::millis(j * 5), size, true});
+        }
+    }
+    return events;
+}
+
+TEST(TimeSeriesTest, BucketizeCountsAndBytes) {
+    const auto events = periodic_events(SimTime::seconds(1), 10);
+    const auto packets = bucketize(events, SimTime{}, SimTime::seconds(10), SimTime::seconds(1),
+                                   SeriesMetric::kPackets);
+    ASSERT_EQ(packets.values.size(), 10U);
+    for (const double v : packets.values) EXPECT_DOUBLE_EQ(v, 3.0);
+
+    const auto bytes = bucketize(events, SimTime{}, SimTime::seconds(10), SimTime::seconds(1),
+                                 SeriesMetric::kBytes);
+    for (const double v : bytes.values) EXPECT_DOUBLE_EQ(v, 300.0);
+}
+
+TEST(TimeSeriesTest, BucketizeRespectsWindow) {
+    const auto events = periodic_events(SimTime::seconds(1), 100);
+    const auto series = bucketize(events, SimTime::seconds(50), SimTime::seconds(10),
+                                  SimTime::seconds(1), SeriesMetric::kPackets);
+    ASSERT_EQ(series.values.size(), 10U);
+    EXPECT_DOUBLE_EQ(series.values[0], 3.0);
+    EXPECT_EQ(series.time_of(3), SimTime::seconds(53));
+}
+
+TEST(TimeSeriesTest, FindBurstsGroupsByGap) {
+    const auto events = periodic_events(SimTime::seconds(15), 8);
+    const auto bursts = find_bursts(events, SimTime::seconds(5));
+    ASSERT_EQ(bursts.size(), 8U);
+    EXPECT_EQ(bursts[0].packets, 3U);
+    EXPECT_EQ(bursts[0].bytes, 300U);
+}
+
+TEST(TimeSeriesTest, CadenceOfRegularTraffic) {
+    const auto bursts = find_bursts(periodic_events(SimTime::seconds(15), 20),
+                                    SimTime::seconds(5));
+    const auto cadence = burst_cadence(bursts);
+    EXPECT_EQ(cadence.bursts, 20U);
+    EXPECT_NEAR(cadence.mean_interval_s, 15.0, 0.01);
+    EXPECT_LT(cadence.cv, 0.01);
+}
+
+TEST(TimeSeriesTest, CadenceOfIrregularTrafficHasHighCv) {
+    std::vector<PacketEvent> events;
+    Rng rng(5);
+    SimTime t;
+    for (int i = 0; i < 30; ++i) {
+        t += SimTime::seconds(rng.uniform(5, 120));
+        events.push_back(PacketEvent{t, 100, true});
+    }
+    const auto cadence = burst_cadence(find_bursts(events, SimTime::seconds(4)));
+    EXPECT_GT(cadence.cv, 0.35);
+}
+
+TEST(TimeSeriesTest, DominantPeriodRecoversCadence) {
+    const auto events = periodic_events(SimTime::seconds(15), 40);
+    const double period = dominant_period_seconds(events, SimTime::minutes(10),
+                                                  SimTime::seconds(5), SimTime::minutes(2));
+    // The autocorrelation peak lands on the fundamental or a small multiple.
+    EXPECT_NEAR(std::fmod(period, 15.0), 0.0, 0.6);
+    EXPECT_GT(period, 10.0);
+}
+
+TEST(TimeSeriesTest, EmptyInputsAreSafe) {
+    EXPECT_TRUE(find_bursts({}, SimTime::seconds(1)).empty());
+    EXPECT_EQ(burst_cadence({}).bursts, 0U);
+    EXPECT_EQ(dominant_period_seconds({}, SimTime::minutes(1), SimTime::seconds(1),
+                                      SimTime::seconds(30)),
+              0.0);
+}
+
+// --------------------------------------------------------------------- cdf
+
+TEST(CdfTest, CumulativeBytesMonotoneAndNormalized) {
+    const auto events = periodic_events(SimTime::seconds(10), 6, 500);
+    const auto curve = cumulative_bytes(events);
+    ASSERT_EQ(curve.size(), events.size());
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].bytes, curve[i - 1].bytes);
+        EXPECT_GE(curve[i].fraction, curve[i - 1].fraction);
+    }
+    EXPECT_DOUBLE_EQ(curve.back().fraction, 1.0);
+    EXPECT_EQ(curve.back().bytes, 6U * 3U * 500U);
+}
+
+TEST(CdfTest, ResampleStepsHoldLastValue) {
+    std::vector<PacketEvent> events = {{SimTime::seconds(10), 100, true},
+                                       {SimTime::seconds(30), 300, true}};
+    const auto resampled = resample(cumulative_bytes(events), SimTime{}, SimTime::seconds(40),
+                                    SimTime::seconds(10));
+    ASSERT_EQ(resampled.size(), 5U);
+    EXPECT_EQ(resampled[0].bytes, 0U);
+    EXPECT_EQ(resampled[1].bytes, 100U);
+    EXPECT_EQ(resampled[2].bytes, 100U);
+    EXPECT_EQ(resampled[3].bytes, 400U);
+    EXPECT_EQ(resampled[4].bytes, 400U);
+}
+
+TEST(CdfTest, IdenticalCurvesHaveZeroGap) {
+    const auto events = periodic_events(SimTime::seconds(5), 10);
+    const auto curve = cumulative_bytes(events);
+    EXPECT_DOUBLE_EQ(
+        max_fraction_gap(curve, curve, SimTime{}, SimTime::minutes(1), SimTime::seconds(1)), 0.0);
+}
+
+TEST(CdfTest, DisjointCurvesHaveLargeGap) {
+    std::vector<PacketEvent> early = {{SimTime::seconds(1), 100, true}};
+    std::vector<PacketEvent> late = {{SimTime::seconds(59), 100, true}};
+    const double gap = max_fraction_gap(cumulative_bytes(early), cumulative_bytes(late),
+                                        SimTime{}, SimTime::minutes(1), SimTime::seconds(1));
+    EXPECT_GT(gap, 0.9);
+}
+
+// -------------------------------------------------------------- acr_detect
+
+TEST(AcrDetectTest, BlocklistMatchesSuffixes) {
+    EXPECT_TRUE(is_blocklisted("eu-acr7.alphonso.tv"));
+    EXPECT_TRUE(is_blocklisted("log-config.samsungacr.com"));
+    EXPECT_TRUE(is_blocklisted("samsungads.com"));
+    EXPECT_FALSE(is_blocklisted("netflix.com"));
+    EXPECT_FALSE(is_blocklisted("alphonso.tv.evil.example"));
+}
+
+CaptureAnalyzer analyzer_with(const std::string& domain, Ipv4Address server,
+                              const std::vector<PacketEvent>& events) {
+    CaptureAnalyzer analyzer(kDevice);
+    analyzer.ingest(dns_response_packet(domain, server, SimTime{}));
+    for (const auto& event : events) {
+        analyzer.ingest(tcp_packet(event.device_to_server ? kDevice : server,
+                                   event.device_to_server ? server : kDevice, event.timestamp,
+                                   event.frame_bytes));
+    }
+    return analyzer;
+}
+
+TEST(AcrDetectTest, RegularAcrNamedDomainIsFlagged) {
+    const auto analyzer = analyzer_with("eu-acr3.alphonso.tv", kServer,
+                                        periodic_events(SimTime::seconds(15), 30));
+    const AcrDomainIdentifier identifier;
+    const auto domains = identifier.acr_domains(analyzer, nullptr, SimTime::minutes(10));
+    ASSERT_EQ(domains.size(), 1U);
+    EXPECT_EQ(domains[0], "eu-acr3.alphonso.tv");
+}
+
+TEST(AcrDetectTest, AdDomainWithoutAcrNameIsNotFlagged) {
+    const auto analyzer = analyzer_with("samsungads.com", kServer,
+                                        periodic_events(SimTime::seconds(15), 30));
+    const AcrDomainIdentifier identifier;
+    EXPECT_TRUE(identifier.acr_domains(analyzer, nullptr, SimTime::minutes(10)).empty());
+}
+
+TEST(AcrDetectTest, AcrNameWithoutCorroborationIsNotFlagged) {
+    // "acr" in the name but irregular contact and not on any blocklist.
+    std::vector<PacketEvent> events;
+    Rng rng(3);
+    SimTime t;
+    for (int i = 0; i < 12; ++i) {
+        t += SimTime::seconds(rng.uniform(3, 300));
+        events.push_back(PacketEvent{t, 200, true});
+    }
+    const auto analyzer = analyzer_with("acrobat-updates.example.com", kServer, events);
+    const AcrDomainIdentifier identifier;
+    EXPECT_TRUE(identifier.acr_domains(analyzer, nullptr, SimTime::hours(1)).empty());
+}
+
+TEST(AcrDetectTest, OptOutDifferentialConfirmsAndRefutes) {
+    const auto opted_in = analyzer_with("eu-acr3.alphonso.tv", kServer,
+                                        periodic_events(SimTime::seconds(15), 30));
+    // Control capture where the domain is gone: differential positive.
+    const CaptureAnalyzer empty_control(kDevice);
+    const AcrDomainIdentifier identifier;
+    const auto find_acr = [](const std::vector<AcrFinding>& findings) -> const AcrFinding* {
+        for (const auto& finding : findings) {
+            if (finding.domain == "eu-acr3.alphonso.tv") return &finding;
+        }
+        return nullptr;
+    };
+    const auto findings =
+        identifier.identify(opted_in, &empty_control, SimTime::minutes(10));
+    const AcrFinding* confirmed = find_acr(findings);
+    ASSERT_NE(confirmed, nullptr);
+    ASSERT_TRUE(confirmed->optout_differential.has_value());
+    EXPECT_TRUE(*confirmed->optout_differential);
+    EXPECT_TRUE(confirmed->verdict);
+
+    // Control capture where the domain persists: differential refutes.
+    const auto still_there = analyzer_with("eu-acr3.alphonso.tv", kServer,
+                                           periodic_events(SimTime::seconds(15), 30));
+    const auto refuted_findings =
+        identifier.identify(opted_in, &still_there, SimTime::minutes(10));
+    const AcrFinding* refuted = find_acr(refuted_findings);
+    ASSERT_NE(refuted, nullptr);
+    EXPECT_FALSE(*refuted->optout_differential);
+    EXPECT_FALSE(refuted->verdict);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(ReportTest, TableRenderAlignsColumns) {
+    Table table;
+    table.title = "demo";
+    table.header = {"Domain", "Idle", "Antenna"};
+    table.rows = {{"eu-acrX.alphonso.tv", "264.7", "4759.7"}, {"x.com", "-", "1.0"}};
+    const std::string text = table.render();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("eu-acrX.alphonso.tv"), std::string::npos);
+    EXPECT_NE(text.find("4759.7"), std::string::npos);
+    // All data lines have equal length (column alignment).
+    const auto lines = split(trim(text), '\n');
+    ASSERT_GE(lines.size(), 4U);
+    EXPECT_EQ(lines[1].size(), lines[3].size() + 0U);  // rule vs row may differ; header == rows
+}
+
+TEST(ReportTest, TableCsv) {
+    Table table;
+    table.header = {"a", "b"};
+    table.rows = {{"1", "2"}};
+    EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(ReportTest, SparklinePeaksVisible) {
+    BucketSeries series;
+    series.bucket_width = SimTime::seconds(1);
+    series.values.assign(200, 0.0);
+    series.values[50] = 10.0;
+    const std::string line = sparkline(series, 100);
+    EXPECT_FALSE(line.empty());
+    EXPECT_NE(line.find("█"), std::string::npos);  // the burst survives downsampling
+}
+
+TEST(ReportTest, SeriesCsvHasHeaderAndRows) {
+    BucketSeries series;
+    series.bucket_width = SimTime::seconds(1);
+    series.values = {1.0, 2.0};
+    const auto csv = series_to_csv(series);
+    EXPECT_EQ(split(trim(csv), '\n').size(), 3U);
+}
+
+TEST(ReportTest, RenderFigureListsPanelsWithSharedAxis) {
+    BucketSeries series;
+    series.start = SimTime::minutes(5);
+    series.bucket_width = SimTime::seconds(1);
+    series.values.assign(60, 1.0);
+    const std::string figure =
+        render_figure("Figure X", {{"Linear", series}, {"Idle", series}});
+    EXPECT_NE(figure.find("Figure X"), std::string::npos);
+    EXPECT_NE(figure.find("Linear"), std::string::npos);
+    EXPECT_NE(figure.find("Idle"), std::string::npos);
+    EXPECT_NE(figure.find("+300s -> +360s"), std::string::npos);
+}
+
+TEST(ReportTest, SparklineOfEmptySeriesIsEmpty) {
+    EXPECT_TRUE(sparkline(BucketSeries{}).empty());
+    EXPECT_EQ(render_figure("empty", {}), "empty\n");
+}
+
+TEST(ReportTest, CumulativeCsv) {
+    const auto csv = cumulative_to_csv({{SimTime::seconds(1), 100, 0.5}});
+    EXPECT_NE(csv.find("time_s,bytes,fraction"), std::string::npos);
+    EXPECT_NE(csv.find("1,100,0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tvacr::analysis

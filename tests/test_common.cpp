@@ -1,0 +1,284 @@
+// Unit and property tests for the common substrate: byte codecs, RNG
+// determinism, statistics, strings, and simulated time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/time.hpp"
+
+namespace tvacr {
+namespace {
+
+// ---------------------------------------------------------------- ByteWriter
+
+TEST(ByteWriter, WritesBigEndianIntegers) {
+    ByteWriter w;
+    w.u8(0xAB);
+    w.u16(0x1234);
+    w.u32(0xDEADBEEF);
+    w.u64(0x0102030405060708ULL);
+    const Bytes expected = {0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF,
+                            0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+    EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(ByteWriter, WritesLittleEndianIntegers) {
+    ByteWriter w;
+    w.u16le(0x1234);
+    w.u32le(0xDEADBEEF);
+    const Bytes expected = {0x34, 0x12, 0xEF, 0xBE, 0xAD, 0xDE};
+    EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(ByteWriter, PatchOverwritesInPlace) {
+    ByteWriter w;
+    w.u16(0);
+    w.u16(0xBEEF);
+    w.patch_u16(0, 0xCAFE);
+    const Bytes expected = {0xCA, 0xFE, 0xBE, 0xEF};
+    EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(ByteWriter, FillAppendsRepeatedByte) {
+    ByteWriter w;
+    w.fill(3, 0x7F);
+    EXPECT_EQ(w.size(), 3U);
+    EXPECT_EQ(w.bytes()[2], 0x7F);
+}
+
+// ---------------------------------------------------------------- ByteReader
+
+TEST(ByteReader, RoundTripsAllWidths) {
+    ByteWriter w;
+    w.u8(7);
+    w.u16(300);
+    w.u32(70000);
+    w.u64(1ULL << 40);
+    w.u16le(300);
+    w.u32le(70000);
+    ByteReader r(w.view());
+    EXPECT_EQ(r.u8().value(), 7);
+    EXPECT_EQ(r.u16().value(), 300);
+    EXPECT_EQ(r.u32().value(), 70000U);
+    EXPECT_EQ(r.u64().value(), 1ULL << 40);
+    EXPECT_EQ(r.u16le().value(), 300);
+    EXPECT_EQ(r.u32le().value(), 70000U);
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, ReadPastEndFails) {
+    const Bytes data = {1, 2};
+    ByteReader r(data);
+    EXPECT_TRUE(r.u16().ok());
+    EXPECT_FALSE(r.u8().ok());
+    EXPECT_FALSE(r.u16().ok());
+    EXPECT_FALSE(r.raw(1).ok());
+}
+
+TEST(ByteReader, SkipAndSeek) {
+    const Bytes data = {1, 2, 3, 4, 5};
+    ByteReader r(data);
+    EXPECT_TRUE(r.skip(2).ok());
+    EXPECT_EQ(r.u8().value(), 3);
+    EXPECT_TRUE(r.seek(0).ok());
+    EXPECT_EQ(r.u8().value(), 1);
+    EXPECT_FALSE(r.seek(6).ok());
+    EXPECT_FALSE(r.skip(10).ok());
+}
+
+// --------------------------------------------------------------------- hex
+
+TEST(Hex, RoundTrip) {
+    const Bytes data = {0x00, 0x9F, 0xFF, 0x10};
+    EXPECT_EQ(to_hex(data), "009fff10");
+    EXPECT_EQ(from_hex("009fff10").value(), data);
+    EXPECT_EQ(from_hex("009FFF10").value(), data);
+}
+
+TEST(Hex, RejectsBadInput) {
+    EXPECT_FALSE(from_hex("abc").ok());   // odd length
+    EXPECT_FALSE(from_hex("zz").ok());    // non-hex
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniform(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NormalHasRoughlyRightMoments) {
+    Rng rng(11);
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) samples.push_back(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(mean(samples), 10.0, 0.1);
+    EXPECT_NEAR(stddev(samples), 2.0, 0.1);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, DeriveSeedIsStableAndLabelSensitive) {
+    EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+    EXPECT_NE(derive_seed(1, 2), derive_seed(1, 3));
+    EXPECT_NE(derive_seed(1, 2), derive_seed(2, 2));
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, MeanVarianceStddev) {
+    const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+    const std::vector<double> none;
+    EXPECT_EQ(mean(none), 0.0);
+    EXPECT_EQ(variance(none), 0.0);
+    EXPECT_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_EQ(coefficient_of_variation(none), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    const std::vector<double> xs = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, AutocorrelationDetectsPeriodicSignal) {
+    // Period-10 impulse train: lag 10 correlates strongly, lag 7 does not.
+    std::vector<double> xs(200, 0.0);
+    for (std::size_t i = 0; i < xs.size(); i += 10) xs[i] = 1.0;
+    EXPECT_GT(autocorrelation(xs, 10), 0.8);
+    EXPECT_LT(autocorrelation(xs, 7), 0.2);
+}
+
+TEST(Stats, DominantPeriodFindsImpulseTrain) {
+    std::vector<double> xs(300, 0.0);
+    for (std::size_t i = 0; i < xs.size(); i += 15) xs[i] = 1.0;
+    const auto period = dominant_period(xs, 2, 50, 0.5);
+    ASSERT_TRUE(period.has_value());
+    EXPECT_EQ(period->lag_samples, 15U);
+}
+
+TEST(Stats, DominantPeriodRejectsNoise) {
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 300; ++i) xs.push_back(rng.uniform01());
+    EXPECT_FALSE(dominant_period(xs, 2, 50, 0.6).has_value());
+}
+
+TEST(Stats, EmpiricalCdfIsMonotonic) {
+    const auto cdf = empirical_cdf({3, 1, 2});
+    ASSERT_EQ(cdf.size(), 3U);
+    EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+    EXPECT_DOUBLE_EQ(cdf[2].x, 3.0);
+    EXPECT_DOUBLE_EQ(cdf[2].p, 1.0);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_LE(cdf[i - 1].x, cdf[i].x);
+        EXPECT_LT(cdf[i - 1].p, cdf[i].p);
+    }
+}
+
+// ------------------------------------------------------------------ strings
+
+TEST(Strings, SplitAndJoin) {
+    const auto parts = split("a.b..c", '.');
+    ASSERT_EQ(parts.size(), 4U);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, "."), "a.b..c");
+}
+
+TEST(Strings, CaseHelpers) {
+    EXPECT_EQ(to_lower("AcR-EU"), "acr-eu");
+    EXPECT_TRUE(contains_ci("eu-ACR7.alphonso.tv", "acr"));
+    EXPECT_FALSE(contains_ci("samsungads.com", "acr"));
+    EXPECT_TRUE(starts_with("acr0.samsung", "acr"));
+    EXPECT_TRUE(ends_with("log-config.samsungacr.com", ".com"));
+}
+
+TEST(Strings, TrimStripsWhitespace) {
+    EXPECT_EQ(trim("  x y \n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, FormatKbMatchesPaperStyle) {
+    EXPECT_EQ(format_kb(4759.71), "4759.7");
+    EXPECT_EQ(format_kb(0.0), "-");  // paper renders zero traffic as '-'
+    EXPECT_EQ(format_kb(9.54), "9.5");
+}
+
+TEST(Strings, Padding) {
+    EXPECT_EQ(pad_right("ab", 4), "ab  ");
+    EXPECT_EQ(pad_left("ab", 4), "  ab");
+    EXPECT_EQ(pad_left("abcdef", 4), "abcdef");  // never truncates
+}
+
+// -------------------------------------------------------------------- time
+
+TEST(SimTimeTest, ConversionsAreExact) {
+    EXPECT_EQ(SimTime::seconds(2).as_micros(), 2'000'000);
+    EXPECT_EQ(SimTime::millis(1500).as_millis(), 1500);
+    EXPECT_EQ(SimTime::minutes(2).as_micros(), 120'000'000);
+    EXPECT_EQ(SimTime::hours(1).as_micros(), 3'600'000'000LL);
+    EXPECT_DOUBLE_EQ(SimTime::millis(2500).as_seconds(), 2.5);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+    const auto t = SimTime::seconds(10) + SimTime::millis(500) - SimTime::millis(1500);
+    EXPECT_EQ(t.as_millis(), 9000);
+    EXPECT_EQ((SimTime::seconds(1) * 15).as_micros(), 15'000'000);
+    EXPECT_EQ(SimTime::minutes(1) / SimTime::seconds(15), 4);
+}
+
+TEST(SimTimeTest, Ordering) {
+    EXPECT_LT(SimTime::millis(999), SimTime::seconds(1));
+    EXPECT_EQ(SimTime::seconds(60), SimTime::minutes(1));
+}
+
+TEST(SimTimeTest, FormatMmSs) {
+    EXPECT_EQ(format_mmss(SimTime::millis(0)), "00:00.000");
+    EXPECT_EQ(format_mmss(SimTime::seconds(75) + SimTime::millis(42)), "01:15.042");
+}
+
+}  // namespace
+}  // namespace tvacr

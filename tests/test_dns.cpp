@@ -1,0 +1,235 @@
+// Tests for the DNS substrate: name codec (incl. compression), message
+// codec, and the authoritative zone/resolver.
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+#include "dns/name.hpp"
+#include "dns/zone.hpp"
+
+namespace tvacr::dns {
+namespace {
+
+// -------------------------------------------------------------------- names
+
+TEST(DomainNameTest, ParseNormalizesCase) {
+    const auto name = DomainName::parse("ACR-EU-PRD.SamsungCloud.TV");
+    ASSERT_TRUE(name.ok());
+    EXPECT_EQ(name.value().to_string(), "acr-eu-prd.samsungcloud.tv");
+    EXPECT_EQ(name.value().labels().size(), 3U);
+}
+
+TEST(DomainNameTest, RootAndTrailingDot) {
+    EXPECT_TRUE(DomainName::parse("").value().is_root());
+    EXPECT_TRUE(DomainName::parse(".").value().is_root());
+    EXPECT_EQ(DomainName::parse("example.com.").value().to_string(), "example.com");
+}
+
+TEST(DomainNameTest, RejectsOversizedLabels) {
+    EXPECT_FALSE(DomainName::parse(std::string(64, 'a') + ".com").ok());
+    EXPECT_FALSE(DomainName::parse("a..b").ok());
+    // Total name length > 255.
+    std::string big;
+    for (int i = 0; i < 50; ++i) big += "abcdef.";
+    big += "com";
+    EXPECT_FALSE(DomainName::parse(big).ok());
+}
+
+TEST(DomainNameTest, SubdomainMatching) {
+    const auto parent = DomainName::parse("alphonso.tv").value();
+    EXPECT_TRUE(DomainName::parse("eu-acr7.alphonso.tv").value().is_subdomain_of(parent));
+    EXPECT_TRUE(parent.is_subdomain_of(parent));
+    EXPECT_FALSE(DomainName::parse("alphonso.tv.evil.com").value().is_subdomain_of(parent));
+}
+
+TEST(DomainNameTest, ReverseOf) {
+    const auto name = DomainName::reverse_of(net::Ipv4Address(203, 0, 113, 7));
+    EXPECT_EQ(name.to_string(), "7.113.0.203.in-addr.arpa");
+}
+
+TEST(NameCodecTest, UncompressedRoundTrip) {
+    const auto name = DomainName::parse("log-config.samsungacr.com").value();
+    ByteWriter w;
+    encode_name_uncompressed(name, w);
+    ByteReader r(w.view());
+    const auto decoded = decode_name(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), name);
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(NameCodecTest, CompressionReusesSuffixes) {
+    const auto first = DomainName::parse("a.example.com").value();
+    const auto second = DomainName::parse("b.example.com").value();
+    ByteWriter w;
+    CompressionMap offsets;
+    encode_name(first, w, offsets);
+    const std::size_t first_size = w.size();
+    encode_name(second, w, offsets);
+    // Second name needs only "b" + a 2-byte pointer: 1+1+2 = 4 bytes.
+    EXPECT_EQ(w.size() - first_size, 4U);
+
+    ByteReader r(w.view());
+    EXPECT_EQ(decode_name(r).value(), first);
+    EXPECT_EQ(decode_name(r).value(), second);
+}
+
+TEST(NameCodecTest, RejectsPointerLoops) {
+    // A name that points at itself: 0xC000 at offset 0.
+    const Bytes evil = {0xC0, 0x00};
+    ByteReader r(evil);
+    EXPECT_FALSE(decode_name(r).ok());
+}
+
+TEST(NameCodecTest, RejectsTruncatedLabel) {
+    const Bytes truncated = {0x05, 'a', 'b'};
+    ByteReader r(truncated);
+    EXPECT_FALSE(decode_name(r).ok());
+}
+
+// ----------------------------------------------------------------- messages
+
+TEST(DnsMessageTest, QueryRoundTrip) {
+    const auto name = DomainName::parse("acr0.samsungcloudsolution.com").value();
+    const DnsMessage query = make_query(0x1234, name, RecordType::kA);
+    const auto decoded = DnsMessage::decode(query.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), query);
+    EXPECT_FALSE(decoded.value().is_response);
+    EXPECT_TRUE(decoded.value().recursion_desired);
+}
+
+TEST(DnsMessageTest, ResponseWithAllRecordTypesRoundTrips) {
+    const auto name = DomainName::parse("svc.example.com").value();
+    DnsMessage query = make_query(7, name, RecordType::kA);
+    std::vector<ResourceRecord> answers;
+    answers.push_back(ResourceRecord::cname(name, DomainName::parse("edge.example.net").value()));
+    answers.push_back(ResourceRecord::a(DomainName::parse("edge.example.net").value(),
+                                        net::Ipv4Address(198, 51, 100, 7), 60));
+    DnsMessage response = make_response(query, answers, ResponseCode::kNoError);
+    response.additionals.push_back(
+        ResourceRecord::txt(DomainName::parse("meta.example.com").value(), "v=1"));
+    response.authorities.push_back(ResourceRecord::ptr(
+        DomainName::reverse_of(net::Ipv4Address(198, 51, 100, 7)),
+        DomainName::parse("edge.example.net").value()));
+
+    const auto decoded = DnsMessage::decode(response.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), response);
+}
+
+TEST(DnsMessageTest, CompressionShrinksRepeatedNames) {
+    const auto name = DomainName::parse("very-long-subdomain.acr-service.example.com").value();
+    DnsMessage query = make_query(1, name, RecordType::kA);
+    DnsMessage response = make_response(
+        query, {ResourceRecord::a(name, net::Ipv4Address(1, 2, 3, 4))}, ResponseCode::kNoError);
+    const Bytes wire = response.encode();
+    // The answer's name must be a 2-byte pointer, not a repeat of the
+    // 44-byte name.
+    ByteWriter uncompressed_estimate;
+    encode_name_uncompressed(name, uncompressed_estimate);
+    EXPECT_LT(wire.size(), 12 + 2 * uncompressed_estimate.size() + 14);
+}
+
+TEST(DnsMessageTest, RejectsTruncatedHeader) {
+    const Bytes junk = {0x00, 0x01, 0x00};
+    EXPECT_FALSE(DnsMessage::decode(junk).ok());
+}
+
+TEST(DnsMessageTest, RcodeSurvivesRoundTrip) {
+    const auto name = DomainName::parse("missing.example.com").value();
+    const DnsMessage query = make_query(9, name, RecordType::kA);
+    const DnsMessage nx = make_response(query, {}, ResponseCode::kNxDomain);
+    const auto decoded = DnsMessage::decode(nx.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().rcode, ResponseCode::kNxDomain);
+    EXPECT_TRUE(decoded.value().is_response);
+}
+
+// --------------------------------------------------------------------- zone
+
+Zone sample_zone() {
+    Zone zone;
+    zone.add_a("eu-acr7.alphonso.tv", net::Ipv4Address(185, 76, 9, 10));
+    zone.add_cname("www.alphonso.tv", "eu-acr7.alphonso.tv");
+    zone.add_ptr(net::Ipv4Address(185, 76, 9, 10), "ams-edge-1.alphonso.tv");
+    zone.add_txt("alphonso.tv", "acr backend");
+    return zone;
+}
+
+TEST(ZoneTest, DirectALookup) {
+    const Zone zone = sample_zone();
+    const auto name = DomainName::parse("eu-acr7.alphonso.tv").value();
+    const auto records = zone.lookup(name, RecordType::kA);
+    ASSERT_EQ(records.size(), 1U);
+    EXPECT_EQ(std::get<net::Ipv4Address>(records[0].rdata), net::Ipv4Address(185, 76, 9, 10));
+}
+
+TEST(ZoneTest, CnameChainIsChased) {
+    const Zone zone = sample_zone();
+    const auto name = DomainName::parse("www.alphonso.tv").value();
+    const auto records = zone.lookup(name, RecordType::kA);
+    ASSERT_EQ(records.size(), 2U);  // CNAME then A
+    EXPECT_EQ(records[0].type, RecordType::kCname);
+    EXPECT_EQ(records[1].type, RecordType::kA);
+    EXPECT_EQ(zone.resolve_a(name), net::Ipv4Address(185, 76, 9, 10));
+}
+
+TEST(ZoneTest, CnameLoopTerminates) {
+    Zone zone;
+    zone.add_cname("a.example.com", "b.example.com");
+    zone.add_cname("b.example.com", "a.example.com");
+    const auto records =
+        zone.lookup(DomainName::parse("a.example.com").value(), RecordType::kA);
+    EXPECT_LE(records.size(), 9U);  // bounded by the chase depth limit
+    EXPECT_FALSE(zone.resolve_a(DomainName::parse("a.example.com").value()).has_value());
+}
+
+TEST(ZoneTest, AnswerDistinguishesNxdomainFromNodata) {
+    const Zone zone = sample_zone();
+    const auto nx = zone.answer(
+        make_query(1, DomainName::parse("nope.example.com").value(), RecordType::kA));
+    EXPECT_EQ(nx.rcode, ResponseCode::kNxDomain);
+
+    const auto nodata =
+        zone.answer(make_query(2, DomainName::parse("alphonso.tv").value(), RecordType::kA));
+    EXPECT_EQ(nodata.rcode, ResponseCode::kNoError);
+    EXPECT_TRUE(nodata.answers.empty());
+}
+
+TEST(ZoneTest, AnswerEchoesQuestionAndId) {
+    const Zone zone = sample_zone();
+    const auto query =
+        make_query(0xBEEF, DomainName::parse("eu-acr7.alphonso.tv").value(), RecordType::kA);
+    const auto response = zone.answer(query);
+    EXPECT_EQ(response.id, 0xBEEF);
+    ASSERT_EQ(response.questions.size(), 1U);
+    EXPECT_EQ(response.questions[0], query.questions[0]);
+    EXPECT_TRUE(response.is_response);
+    ASSERT_EQ(response.answers.size(), 1U);
+}
+
+TEST(ZoneTest, PtrLookupForReverseDns) {
+    const Zone zone = sample_zone();
+    const auto reverse = DomainName::reverse_of(net::Ipv4Address(185, 76, 9, 10));
+    const auto records = zone.lookup(reverse, RecordType::kPtr);
+    ASSERT_EQ(records.size(), 1U);
+    EXPECT_EQ(std::get<DomainName>(records[0].rdata).to_string(), "ams-edge-1.alphonso.tv");
+}
+
+TEST(ZoneTest, RemoveSupportsDomainRotation) {
+    Zone zone = sample_zone();
+    const auto old_name = DomainName::parse("eu-acr7.alphonso.tv").value();
+    zone.remove(old_name);
+    zone.add_a("eu-acr8.alphonso.tv", net::Ipv4Address(185, 76, 9, 11));
+    EXPECT_FALSE(zone.resolve_a(old_name).has_value());
+    EXPECT_TRUE(zone.resolve_a(DomainName::parse("eu-acr8.alphonso.tv").value()).has_value());
+}
+
+TEST(ZoneTest, FormErrOnEmptyQuestion) {
+    const Zone zone = sample_zone();
+    DnsMessage empty;
+    EXPECT_EQ(zone.answer(empty).rcode, ResponseCode::kFormErr);
+}
+
+}  // namespace
+}  // namespace tvacr::dns

@@ -1,0 +1,118 @@
+// Tests for the JSON writer and the machine-readable result exports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/json.hpp"
+#include "core/export.hpp"
+
+namespace tvacr {
+namespace {
+
+using analysis::JsonWriter;
+
+// ------------------------------------------------------------- JSON writer
+
+TEST(JsonWriterTest, FlatObject) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("name").value("eu-acrX.alphonso.tv");
+    json.key("kb").value(4759.7);
+    json.key("packets").value(std::uint64_t{563});
+    json.key("acr").value(true);
+    json.key("missing").null();
+    json.end_object();
+    EXPECT_EQ(json.text(),
+              R"({"name":"eu-acrX.alphonso.tv","kb":4759.7,"packets":563,"acr":true,)"
+              R"("missing":null})");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("rows").begin_array();
+    json.begin_object().key("a").value(1).end_object();
+    json.begin_object().key("a").value(2).end_object();
+    json.end_array();
+    json.end_object();
+    EXPECT_EQ(json.text(), R"({"rows":[{"a":1},{"a":2}]})");
+}
+
+TEST(JsonWriterTest, ArrayOfScalars) {
+    JsonWriter json;
+    json.begin_array();
+    json.value(1).value(2.5).value("x").value(false);
+    json.end_array();
+    EXPECT_EQ(json.text(), R"([1,2.5,"x",false])");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+    JsonWriter json;
+    json.begin_array();
+    json.value(std::nan(""));
+    json.value(std::numeric_limits<double>::infinity());
+    json.end_array();
+    EXPECT_EQ(json.text(), "[null,null]");
+}
+
+// ----------------------------------------------------------------- exports
+
+TEST(ExportTest, TraceJsonContainsDomainsAndTotals) {
+    core::ScenarioTrace trace;
+    trace.spec.brand = tv::Brand::kLg;
+    trace.spec.country = tv::Country::kUk;
+    trace.spec.scenario = tv::Scenario::kLinear;
+    trace.spec.phase = tv::Phase::kLInOIn;
+    trace.spec.duration = SimTime::hours(1);
+    trace.total_acr_kb = 4759.7;
+    trace.kb_per_domain["eu-acrX.alphonso.tv"] = 4759.7;
+
+    const std::string json = core::trace_to_json(trace);
+    EXPECT_NE(json.find(R"("brand":"LG")"), std::string::npos);
+    EXPECT_NE(json.find(R"("scenario":"Antenna")"), std::string::npos);
+    EXPECT_NE(json.find(R"("eu-acrX.alphonso.tv":4759.7)"), std::string::npos);
+}
+
+TEST(ExportTest, SweepJsonAttachesPaperCells) {
+    core::ScenarioTrace trace;
+    trace.spec.brand = tv::Brand::kLg;
+    trace.spec.country = tv::Country::kUk;
+    trace.spec.scenario = tv::Scenario::kLinear;
+    trace.spec.phase = tv::Phase::kLInOIn;
+    trace.kb_per_domain["eu-acrX.alphonso.tv"] = 4800.0;
+
+    const std::string json =
+        core::sweep_to_json({trace}, tv::Country::kUk, tv::Phase::kLInOIn);
+    // The paper's Table 2 Antenna cell for this domain is 4759.7.
+    EXPECT_NE(json.find(R"("paper_kb":{"eu-acrX.alphonso.tv":4759.7})"), std::string::npos);
+}
+
+TEST(ExportTest, AuditJsonEndToEnd) {
+    core::AuditConfig config;
+    config.brand = tv::Brand::kLg;
+    config.country = tv::Country::kUk;
+    config.duration = SimTime::minutes(4);
+    config.seed = 12;
+    const auto report = core::AuditPipeline::run(config);
+    const std::string json = core::audit_to_json(report);
+    EXPECT_NE(json.find(R"("findings":[)"), std::string::npos);
+    EXPECT_NE(json.find(R"("geolocation":[)"), std::string::npos);
+    EXPECT_NE(json.find(R"("verdict":true)"), std::string::npos);
+    // Every quote is escaped / structure balanced: crude brace check.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace tvacr

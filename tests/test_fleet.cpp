@@ -1,0 +1,103 @@
+// Tests for the dual-TV fleet testbed (paper Figure 2): both devices run
+// simultaneously, captures stay per-device, and each brand's behaviour is
+// unchanged by the other's presence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/campaign.hpp"
+#include "core/fleet.hpp"
+#include "core/validation.hpp"
+
+namespace tvacr::core {
+namespace {
+
+FleetSpec quick_fleet(tv::Scenario scenario, tv::Phase phase = tv::Phase::kLInOIn) {
+    FleetSpec spec;
+    spec.country = tv::Country::kUk;
+    spec.scenario = scenario;
+    spec.phase = phase;
+    spec.duration = SimTime::minutes(5);
+    spec.seed = 33;
+    return spec;
+}
+
+TEST(FleetTest, BothTvsRunConcurrentlyAndUpload) {
+    FleetTestbed fleet(quick_fleet(tv::Scenario::kLinear));
+    const auto result = fleet.run();
+
+    EXPECT_GT(result.lg.batches_uploaded, 10U);       // 15 s cadence
+    EXPECT_GT(result.samsung.batches_uploaded, 2U);   // 60 s cadence
+    EXPECT_GT(result.lg.backend_matches, 0U);
+    EXPECT_GT(result.samsung.backend_matches, 0U);
+    EXPECT_FALSE(result.lg.capture.empty());
+    EXPECT_FALSE(result.samsung.capture.empty());
+}
+
+TEST(FleetTest, CapturesArePerDevice) {
+    FleetTestbed fleet(quick_fleet(tv::Scenario::kLinear));
+    const auto result = fleet.run();
+
+    // No frame in the LG capture involves the Samsung TV's address and
+    // vice versa — Mon(IoT)r's per-device isolation.
+    const auto foreign_frames = [](const ExperimentResult& own,
+                                   const net::Ipv4Address& other_ip) {
+        int count = 0;
+        for (const auto& raw : own.capture) {
+            const auto parsed = net::parse_packet(raw);
+            if (!parsed.ok() || !parsed.value().ip) continue;
+            if (parsed.value().ip->source == other_ip ||
+                parsed.value().ip->destination == other_ip) {
+                ++count;
+            }
+        }
+        return count;
+    };
+    EXPECT_EQ(foreign_frames(result.lg, result.samsung.device_ip), 0);
+    EXPECT_EQ(foreign_frames(result.samsung, result.lg.device_ip), 0);
+    EXPECT_NE(result.lg.device_ip, result.samsung.device_ip);
+}
+
+TEST(FleetTest, PerDeviceAnalysisMatchesSoloBehaviour) {
+    // The brands' ACR domain sets observed in a fleet run equal what each
+    // brand contacts when run alone.
+    FleetTestbed fleet(quick_fleet(tv::Scenario::kLinear));
+    const auto result = fleet.run();
+
+    const auto domains_of = [](const ExperimentResult& experiment) {
+        std::set<std::string> out;
+        const auto trace = trace_of(experiment);
+        for (const auto& [domain, kb] : trace.kb_per_domain) {
+            if (kb > 0) out.insert(domain);
+        }
+        return out;
+    };
+    const auto lg_domains = domains_of(result.lg);
+    const auto samsung_domains = domains_of(result.samsung);
+    EXPECT_EQ(lg_domains.size(), 1U);       // the single Alphonso endpoint
+    EXPECT_EQ(samsung_domains.size(), 4U);  // the four UK Samsung endpoints
+    for (const auto& domain : lg_domains) {
+        EXPECT_NE(domain.find("alphonso"), std::string::npos);
+    }
+}
+
+TEST(FleetTest, ValidationPassesForBothDevices) {
+    FleetTestbed fleet(quick_fleet(tv::Scenario::kFast));
+    const auto result = fleet.run();
+    const auto lg_report = validate_experiment(result.lg);
+    const auto samsung_report = validate_experiment(result.samsung);
+    EXPECT_TRUE(lg_report.all_passed()) << lg_report.render();
+    EXPECT_TRUE(samsung_report.all_passed()) << samsung_report.render();
+}
+
+TEST(FleetTest, OptedOutFleetIsSilent) {
+    FleetTestbed fleet(quick_fleet(tv::Scenario::kLinear, tv::Phase::kLOutOOut));
+    const auto result = fleet.run();
+    EXPECT_EQ(result.lg.batches_uploaded, 0U);
+    EXPECT_EQ(result.samsung.batches_uploaded, 0U);
+    EXPECT_DOUBLE_EQ(trace_of(result.lg).total_acr_kb, 0.0);
+    EXPECT_DOUBLE_EQ(trace_of(result.samsung).total_acr_kb, 0.0);
+}
+
+}  // namespace
+}  // namespace tvacr::core

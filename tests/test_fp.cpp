@@ -1,0 +1,428 @@
+// Tests for the fingerprinting substrate: content synthesis, perceptual
+// hashing, batch encoding, the match server and audience profiling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fp/batch.hpp"
+#include "fp/content.hpp"
+#include "fp/library.hpp"
+#include "fp/matcher.hpp"
+#include "fp/segments.hpp"
+#include "fp/video_fp.hpp"
+
+namespace tvacr::fp {
+namespace {
+
+// ---------------------------------------------------------------- content
+
+TEST(ContentStreamTest, FramesAreDeterministic) {
+    const ContentStream a(42, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    const ContentStream b(42, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    for (int ms : {0, 10, 500, 5000, 60000}) {
+        EXPECT_EQ(a.frame_at(SimTime::millis(ms)).luma, b.frame_at(SimTime::millis(ms)).luma);
+    }
+}
+
+TEST(ContentStreamTest, DifferentSeedsProduceDifferentContent) {
+    const ContentStream a(1, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    const ContentStream b(2, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    EXPECT_NE(a.frame_at(SimTime::seconds(1)).luma, b.frame_at(SimTime::seconds(1)).luma);
+}
+
+TEST(ContentStreamTest, SceneIndexIsMonotonic) {
+    const ContentStream stream(7, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    std::size_t previous = 0;
+    for (int s = 0; s < 120; ++s) {
+        const std::size_t scene = stream.scene_index_at(SimTime::seconds(s));
+        EXPECT_GE(scene, previous);
+        previous = scene;
+    }
+    // Live broadcast cuts roughly every 3.5 s: two minutes spans many scenes.
+    EXPECT_GT(previous, 15U);
+}
+
+TEST(ContentStreamTest, HomeScreenBarelyChanges) {
+    const ContentStream live(5, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    const ContentStream home(5, ContentDynamics::for_kind(ContentKind::kHomeScreen));
+    EXPECT_GT(live.scene_index_at(SimTime::minutes(2)),
+              4 * std::max<std::size_t>(home.scene_index_at(SimTime::minutes(2)), 1));
+}
+
+TEST(ContentStreamTest, AudioIsDeterministicPerScene) {
+    const ContentStream stream(9, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    const auto a = stream.audio_at(SimTime::millis(100));
+    const auto b = stream.audio_at(SimTime::millis(110));
+    if (stream.scene_index_at(SimTime::millis(100)) == stream.scene_index_at(SimTime::millis(110))) {
+        for (int band = 0; band < AudioWindow::kBands; ++band) {
+            EXPECT_FLOAT_EQ(a.band_energy[band], b.band_energy[band]);
+        }
+    }
+}
+
+TEST(ContentDynamicsTest, KindsDifferInTheRightDirection) {
+    const auto live = ContentDynamics::for_kind(ContentKind::kLiveBroadcast);
+    const auto hdmi = ContentDynamics::for_kind(ContentKind::kHdmiDesktop);
+    const auto home = ContentDynamics::for_kind(ContentKind::kHomeScreen);
+    EXPECT_LT(live.static_scene_fraction, hdmi.static_scene_fraction);
+    EXPECT_LT(hdmi.static_scene_fraction, home.static_scene_fraction);
+    EXPECT_LT(live.mean_scene_length, hdmi.mean_scene_length);
+}
+
+// ----------------------------------------------------------------- hashing
+
+Frame test_frame(std::uint64_t seed) {
+    const ContentStream stream(seed, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    return stream.frame_at(SimTime::seconds(1));
+}
+
+TEST(VideoHashTest, DhashIsStableAndSeedSensitive) {
+    EXPECT_EQ(dhash(test_frame(1)), dhash(test_frame(1)));
+    EXPECT_NE(dhash(test_frame(1)), dhash(test_frame(2)));
+}
+
+TEST(VideoHashTest, DhashRobustToSmallPerturbation) {
+    Frame frame = test_frame(3);
+    const VideoHash original = dhash(frame);
+    frame.at(5, 5) = static_cast<std::uint8_t>(frame.at(5, 5) + 60);
+    frame.at(20, 10) = static_cast<std::uint8_t>(frame.at(20, 10) + 60);
+    EXPECT_LE(hamming(original, dhash(frame)), 6);
+}
+
+TEST(VideoHashTest, ConsecutiveFramesOfOneSceneStayClose) {
+    const ContentStream stream(11, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    const SimTime t0 = SimTime::millis(1000);
+    const std::size_t scene = stream.scene_index_at(t0);
+    for (int k = 1; k < 20; ++k) {
+        const SimTime t = t0 + SimTime::millis(10 * k);
+        if (stream.scene_index_at(t) != scene) break;
+        EXPECT_LE(hamming(dhash(stream.frame_at(t0)), dhash(stream.frame_at(t))), 8);
+    }
+}
+
+TEST(VideoHashTest, DifferentScenesProduceDistantHashes) {
+    const ContentStream stream(13, ContentDynamics::for_kind(ContentKind::kLiveBroadcast));
+    // Scan for two different scenes and compare their hashes.
+    const std::size_t first_scene = stream.scene_index_at(SimTime::millis(0));
+    SimTime later = SimTime::seconds(30);
+    ASSERT_NE(stream.scene_index_at(later), first_scene);
+    EXPECT_GT(hamming(dhash(stream.frame_at(SimTime::millis(0))), dhash(stream.frame_at(later))),
+              12);
+}
+
+TEST(VideoHashTest, BlockhashHasBalancedBits) {
+    const VideoHash hash = blockhash(test_frame(17));
+    const int ones = std::popcount(hash);
+    EXPECT_GE(ones, 16);
+    EXPECT_LE(ones, 48);
+}
+
+TEST(VideoHashTest, DownsamplePreservesDimensionsAndRange) {
+    const Frame grid = downsample(test_frame(19), 9, 8);
+    EXPECT_EQ(grid.width, 9);
+    EXPECT_EQ(grid.height, 8);
+    EXPECT_EQ(grid.luma.size(), 72U);
+}
+
+TEST(AudioHashTest, DeterministicAndBandSensitive) {
+    AudioWindow window;
+    window.band_energy[2] = 0.9F;
+    window.band_energy[5] = 0.5F;
+    const auto hash = audio_hash(window);
+    EXPECT_EQ(hash >> 24, 2U);
+    EXPECT_EQ((hash >> 16) & 0xFF, 5U);
+    EXPECT_EQ(audio_hash(window), hash);
+    window.band_energy[7] = 1.0F;
+    EXPECT_NE(audio_hash(window), hash);
+}
+
+// ------------------------------------------------------------------ batches
+
+FingerprintBatch sample_batch(bool with_audio, int records = 100, std::uint16_t period = 10) {
+    FingerprintBatch batch;
+    batch.device_id = 0xDE71CE;
+    batch.start_ms = 123456;
+    batch.capture_period_ms = period;
+    batch.has_audio = with_audio;
+    for (int i = 0; i < records; ++i) {
+        CaptureRecord record;
+        record.offset_ms = static_cast<std::uint32_t>(i) * period;
+        record.video = splitmix64(static_cast<std::uint64_t>(i / 10));  // runs of 10
+        record.audio = with_audio ? static_cast<std::uint32_t>(i / 10) : 0;
+        batch.records.push_back(record);
+    }
+    return batch;
+}
+
+TEST(BatchTest, RawRoundTrip) {
+    const auto batch = sample_batch(true);
+    const auto restored = FingerprintBatch::deserialize(batch.serialize(BatchEncoding::kRaw));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value(), batch);
+}
+
+TEST(BatchTest, DeltaRleRoundTripPreservesHashes) {
+    const auto batch = sample_batch(true);
+    const auto restored =
+        FingerprintBatch::deserialize(batch.serialize(BatchEncoding::kDeltaRle));
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(restored.value().records.size(), batch.records.size());
+    for (std::size_t i = 0; i < batch.records.size(); ++i) {
+        EXPECT_EQ(restored.value().records[i].video, batch.records[i].video);
+        EXPECT_EQ(restored.value().records[i].audio, batch.records[i].audio);
+    }
+}
+
+TEST(BatchTest, DeltaRleCompressesRuns) {
+    const auto batch = sample_batch(false);  // runs of 10 identical hashes
+    const auto raw = batch.serialize(BatchEncoding::kRaw);
+    const auto rle = batch.serialize(BatchEncoding::kDeltaRle);
+    EXPECT_LT(rle.size() * 5, raw.size());  // ~10x fewer full records
+    EXPECT_EQ(run_count(batch), 10U);
+}
+
+TEST(BatchTest, DeltaRleDoesNotHelpUniqueHashes) {
+    FingerprintBatch batch = sample_batch(false);
+    for (std::size_t i = 0; i < batch.records.size(); ++i) {
+        batch.records[i].video = splitmix64(i);  // all distinct
+    }
+    const auto raw = batch.serialize(BatchEncoding::kRaw);
+    const auto rle = batch.serialize(BatchEncoding::kDeltaRle);
+    EXPECT_EQ(rle.size(), raw.size());
+    EXPECT_EQ(run_count(batch), batch.records.size());
+}
+
+TEST(BatchTest, DeserializeRejectsCorruption) {
+    auto wire = sample_batch(true).serialize(BatchEncoding::kRaw);
+    wire[0] ^= 0xFF;  // magic
+    EXPECT_FALSE(FingerprintBatch::deserialize(wire).ok());
+
+    auto truncated = sample_batch(true).serialize(BatchEncoding::kRaw);
+    truncated.resize(truncated.size() - 5);
+    EXPECT_FALSE(FingerprintBatch::deserialize(truncated).ok());
+}
+
+TEST(BatchTest, EmptyBatchRoundTrips) {
+    FingerprintBatch batch;
+    batch.device_id = 1;
+    batch.capture_period_ms = 500;
+    const auto restored =
+        FingerprintBatch::deserialize(batch.serialize(BatchEncoding::kDeltaRle));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_TRUE(restored.value().records.empty());
+}
+
+// ---------------------------------------------------------- library/matcher
+
+struct MatcherFixture : ::testing::Test {
+    ContentLibrary library;
+    std::vector<ContentInfo> catalog = builtin_catalog(/*seed=*/555);
+
+    void SetUp() override {
+        for (const auto& info : catalog) library.add(info);
+    }
+
+    /// Builds the batch a client would upload while playing `info` from
+    /// `start` for `duration` at `period`.
+    [[nodiscard]] FingerprintBatch capture_batch(const ContentInfo& info, SimTime start,
+                                                 SimTime duration, SimTime period) const {
+        const ContentStream stream(info.seed, info.dynamics);
+        FingerprintBatch batch;
+        batch.device_id = 42;
+        batch.start_ms = 0;
+        batch.capture_period_ms = static_cast<std::uint16_t>(period.as_millis());
+        const std::int64_t steps = duration / period;
+        for (std::int64_t step = 0; step < steps; ++step) {
+            const SimTime t = start + period * step;
+            CaptureRecord record;
+            record.offset_ms = static_cast<std::uint32_t>((period * step).as_millis());
+            record.video = dhash(stream.frame_at(t));
+            batch.records.push_back(record);
+        }
+        return batch;
+    }
+};
+
+TEST_F(MatcherFixture, LibraryPrecomputesReferenceTracks) {
+    EXPECT_EQ(library.size(), catalog.size());
+    const auto hashes = library.reference_hashes(catalog[0].id);
+    EXPECT_EQ(hashes.size(),
+              static_cast<std::size_t>(catalog[0].duration / ContentLibrary::kReferencePeriod));
+    EXPECT_TRUE(library.reference_hashes(999999).empty());
+    EXPECT_EQ(library.find(catalog[0].id)->title, catalog[0].title);
+    EXPECT_EQ(library.find(424242), nullptr);
+}
+
+TEST_F(MatcherFixture, IdentifiesContentFromAlignedBatch) {
+    const MatchServer server(library);
+    const auto batch =
+        capture_batch(catalog[1], SimTime::minutes(5), SimTime::seconds(15), SimTime::millis(500));
+    const auto match = server.match(batch);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->content_id, catalog[1].id);
+    EXPECT_GT(match->confidence, 0.5);
+    // Offset recovered within the alignment tolerance.
+    const auto error = match->content_offset - SimTime::minutes(5);
+    EXPECT_LE(std::abs(error.as_micros()), SimTime::seconds(4).as_micros());
+}
+
+TEST_F(MatcherFixture, IdentifiesContentFromMisalignedDenseBatch) {
+    // LG-style: 10 ms captures, unaligned start (5 min + 137 ms).
+    const MatchServer server(library);
+    const auto batch = capture_batch(catalog[0], SimTime::minutes(5) + SimTime::millis(137),
+                                     SimTime::seconds(15), SimTime::millis(10));
+    const auto match = server.match(batch);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->content_id, catalog[0].id);
+}
+
+TEST_F(MatcherFixture, RejectsUnknownContent) {
+    const MatchServer server(library);
+    ContentInfo unknown;
+    unknown.seed = 987654321;  // never registered
+    unknown.dynamics = ContentDynamics::for_kind(ContentKind::kLiveBroadcast);
+    const auto batch =
+        capture_batch(unknown, SimTime::minutes(1), SimTime::seconds(15), SimTime::millis(500));
+    EXPECT_FALSE(server.match(batch).has_value());
+}
+
+TEST_F(MatcherFixture, EmptyBatchDoesNotMatch) {
+    const MatchServer server(library);
+    EXPECT_FALSE(server.match(FingerprintBatch{}).has_value());
+}
+
+TEST_F(MatcherFixture, DistinguishesAllCatalogEntries) {
+    const MatchServer server(library);
+    int correct = 0;
+    for (const auto& info : catalog) {
+        const auto batch = capture_batch(info, SimTime::seconds(30),
+                                         SimTime::seconds(20), SimTime::millis(500));
+        const auto match = server.match(batch);
+        if (match && match->content_id == info.id) ++correct;
+    }
+    // Perceptual hashing is probabilistic; require near-perfect accuracy.
+    EXPECT_GE(correct, static_cast<int>(catalog.size()) - 1);
+}
+
+TEST_F(MatcherFixture, SurvivesRleRecompression) {
+    // Matching after a serialize/deserialize round trip through the
+    // compressed wire format (what the server actually receives).
+    const MatchServer server(library);
+    const auto original = capture_batch(catalog[2], SimTime::minutes(2), SimTime::seconds(15),
+                                        SimTime::millis(500));
+    const auto wire = original.serialize(BatchEncoding::kDeltaRle);
+    const auto received = FingerprintBatch::deserialize(wire);
+    ASSERT_TRUE(received.ok());
+    const auto match = server.match(received.value());
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->content_id, catalog[2].id);
+}
+
+TEST_F(MatcherFixture, AudioCorroborationAgreesForTrueContent) {
+    const MatchServer server(library);
+    const auto& info = catalog[1];
+    const ContentStream stream(info.seed, info.dynamics);
+    fp::FingerprintBatch batch;
+    batch.device_id = 9;
+    batch.capture_period_ms = 500;
+    batch.has_audio = true;
+    for (int i = 0; i < 40; ++i) {
+        const SimTime t = SimTime::minutes(4) + SimTime::millis(500 * i);
+        CaptureRecord record;
+        record.offset_ms = static_cast<std::uint32_t>(500 * i);
+        record.video = dhash(stream.frame_at(t));
+        record.audio = audio_hash(stream.audio_at(t));
+        batch.records.push_back(record);
+    }
+    const auto match = server.match(batch);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->content_id, info.id);
+    // Audio hashes are scene-level constants shared with the reference
+    // track, so agreement at the correct alignment is near-total.
+    EXPECT_GT(match->audio_agreement, 0.8);
+}
+
+TEST_F(MatcherFixture, AudioAgreementAbsentForVideoOnlyBatch) {
+    const MatchServer server(library);
+    const auto batch =
+        capture_batch(catalog[0], SimTime::minutes(3), SimTime::seconds(15), SimTime::millis(500));
+    const auto match = server.match(batch);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_DOUBLE_EQ(match->audio_agreement, -1.0);
+}
+
+TEST_F(MatcherFixture, LibraryStoresAudioTrack) {
+    const auto audio = library.reference_audio(catalog[0].id);
+    EXPECT_EQ(audio.size(), library.reference_hashes(catalog[0].id).size());
+    EXPECT_TRUE(library.reference_audio(424242).empty());
+    // Audio hashes vary across the track (scene changes change the chord).
+    std::set<std::uint32_t> distinct(audio.begin(), audio.end());
+    EXPECT_GT(distinct.size(), 10U);
+}
+
+TEST_F(MatcherFixture, ReindexPicksUpNewContent) {
+    MatchServer server(library);
+    fp::ContentInfo late;
+    late.id = 9999;
+    late.title = "Late Addition";
+    late.seed = 777777;
+    late.duration = SimTime::minutes(5);
+    late.dynamics = ContentDynamics::for_kind(ContentKind::kLiveBroadcast);
+    library.add(late);
+
+    const auto batch =
+        capture_batch(late, SimTime::minutes(1), SimTime::seconds(15), SimTime::millis(500));
+    EXPECT_FALSE(server.match(batch).has_value());  // index predates the add
+    server.reindex();
+    const auto match = server.match(batch);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->content_id, 9999U);
+}
+
+// ----------------------------------------------------------------- segments
+
+TEST_F(MatcherFixture, ProfilerAccumulatesSegments) {
+    AudienceProfiler profiler(library);
+    MatchResult sports;
+    sports.content_id = catalog[1].id;  // Premier Football Live (sports)
+    sports.confidence = 0.9;
+    for (int i = 0; i < 10; ++i) profiler.record_match(42, sports, SimTime::minutes(30));
+
+    const auto* profile = profiler.profile(42);
+    ASSERT_NE(profile, nullptr);
+    EXPECT_EQ(profile->events, 10U);
+    EXPECT_EQ(profile->total_watch_time, SimTime::hours(5));
+    EXPECT_DOUBLE_EQ(profile->genre_share(Genre::kSports), 1.0);
+
+    const auto segments = profiler.segments(42);
+    EXPECT_NE(std::find(segments.begin(), segments.end(), "sports-enthusiast"), segments.end());
+    EXPECT_NE(std::find(segments.begin(), segments.end(), "heavy-viewer"), segments.end());
+}
+
+TEST_F(MatcherFixture, ProfilerMixedViewingYieldsMultipleSegments) {
+    AudienceProfiler profiler(library);
+    MatchResult news;
+    news.content_id = catalog[0].id;  // Evening News Hour
+    MatchResult kids;
+    kids.content_id = catalog[4].id;  // Cartoon Block
+    profiler.record_match(7, news, SimTime::hours(1));
+    profiler.record_match(7, kids, SimTime::minutes(30));
+
+    const auto segments = profiler.segments(7);
+    EXPECT_NE(std::find(segments.begin(), segments.end(), "news-junkie"), segments.end());
+    EXPECT_NE(std::find(segments.begin(), segments.end(), "household-with-children"),
+              segments.end());
+}
+
+TEST_F(MatcherFixture, ProfilerUnknownDeviceAndContent) {
+    AudienceProfiler profiler(library);
+    EXPECT_EQ(profiler.profile(1), nullptr);
+    EXPECT_TRUE(profiler.segments(1).empty());
+    MatchResult bogus;
+    bogus.content_id = 31337;  // not in library: ignored
+    profiler.record_match(1, bogus, SimTime::minutes(5));
+    EXPECT_EQ(profiler.profile(1), nullptr);
+}
+
+}  // namespace
+}  // namespace tvacr::fp

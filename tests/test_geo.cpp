@@ -1,0 +1,268 @@
+// Tests for the geolocation substrate: geometry, ground truth, derived
+// GeoIP databases, traceroute, the RIPE-IPmap engines and the combined
+// decision procedure.
+#include <gtest/gtest.h>
+
+#include "geo/geolocator.hpp"
+#include "geo/ground_truth.hpp"
+#include "geo/ipdb.hpp"
+#include "geo/ripe_ipmap.hpp"
+#include "geo/traceroute.hpp"
+
+namespace tvacr::geo {
+namespace {
+
+using net::Ipv4Address;
+
+// --------------------------------------------------------------- geometry
+
+TEST(LocationTest, HaversineKnownDistances) {
+    const City& london = *find_city("London");
+    const City& amsterdam = *find_city("Amsterdam");
+    const City& new_york = *find_city("New York");
+    EXPECT_NEAR(haversine_km(london, amsterdam), 358.0, 15.0);
+    EXPECT_NEAR(haversine_km(london, new_york), 5570.0, 60.0);
+    EXPECT_DOUBLE_EQ(haversine_km(london, london), 0.0);
+    EXPECT_NEAR(haversine_km(london, amsterdam), haversine_km(amsterdam, london), 1e-9);
+}
+
+TEST(LocationTest, MinRttScalesWithDistance) {
+    const City& london = *find_city("London");
+    EXPECT_LT(min_rtt_ms(london, *find_city("Amsterdam")),
+              min_rtt_ms(london, *find_city("New York")));
+    EXPECT_LT(min_rtt_ms(london, *find_city("New York")),
+              min_rtt_ms(london, *find_city("Sydney")));
+    // London-Amsterdam: ~358 km -> >= 3.6 ms RTT floor through fibre.
+    EXPECT_GT(min_rtt_ms(london, *find_city("Amsterdam")), 3.0);
+    EXPECT_LT(min_rtt_ms(london, *find_city("Amsterdam")), 8.0);
+}
+
+TEST(LocationTest, CityLookups) {
+    ASSERT_NE(find_city("Amsterdam"), nullptr);
+    EXPECT_EQ(find_city("Amsterdam")->iata, "ams");
+    EXPECT_EQ(find_city("Atlantis"), nullptr);
+    ASSERT_NE(find_city_by_iata("iad"), nullptr);
+    EXPECT_EQ(find_city_by_iata("iad")->name, "Ashburn");
+    EXPECT_EQ(find_city_by_iata("zzz"), nullptr);
+}
+
+// ------------------------------------------------------------ ground truth
+
+TEST(GroundTruthTest, PlaceAndLookup) {
+    GroundTruth truth;
+    const City& london = *find_city("London");
+    truth.place(Ipv4Address(23, 0, 1, 10), london, "lon-edge-1.example.net");
+    ASSERT_NE(truth.city_of(Ipv4Address(23, 0, 1, 10)), nullptr);
+    EXPECT_EQ(truth.city_of(Ipv4Address(23, 0, 1, 10))->name, "London");
+    EXPECT_EQ(*truth.ptr_of(Ipv4Address(23, 0, 1, 10)), "lon-edge-1.example.net");
+    EXPECT_EQ(truth.city_of(Ipv4Address(1, 2, 3, 4)), nullptr);
+    EXPECT_EQ(truth.ptr_of(Ipv4Address(1, 2, 3, 4)), nullptr);
+}
+
+TEST(GroundTruthTest, ReplacementUpdatesInPlace) {
+    GroundTruth truth;
+    truth.place(Ipv4Address(23, 0, 1, 10), *find_city("London"), "a");
+    truth.place(Ipv4Address(23, 0, 1, 10), *find_city("Paris"), "b");
+    EXPECT_EQ(truth.placements().size(), 1U);
+    EXPECT_EQ(truth.city_of(Ipv4Address(23, 0, 1, 10))->name, "Paris");
+}
+
+// ------------------------------------------------------------------- GeoIP
+
+GroundTruth sample_truth() {
+    GroundTruth truth;
+    truth.place(Ipv4Address(23, 0, 1, 10), *find_city("London"), "lon-e.samsungcloud.tv");
+    truth.place(Ipv4Address(23, 0, 2, 10), *find_city("Amsterdam"), "ams-e.alphonso.tv");
+    truth.place(Ipv4Address(23, 0, 3, 10), *find_city("New York"), "nyc-e.samsungacr.com");
+    truth.place(Ipv4Address(23, 0, 4, 10), *find_city("Ashburn"), "iad-e.samsungacr.com");
+    return truth;
+}
+
+TEST(GeoIpDatabaseTest, PerfectDatabaseMatchesTruth) {
+    const auto truth = sample_truth();
+    const auto db = derive_database("perfect", truth, /*error_rate=*/0.0, 1);
+    EXPECT_EQ(db.range_count(), truth.placements().size());
+    for (const auto& placement : truth.placements()) {
+        ASSERT_NE(db.lookup(placement.address), nullptr);
+        EXPECT_EQ(db.lookup(placement.address)->name, placement.city->name);
+    }
+}
+
+TEST(GeoIpDatabaseTest, CoversWholeSlash24) {
+    const auto db = derive_database("perfect", sample_truth(), 0.0, 1);
+    EXPECT_NE(db.lookup(Ipv4Address(23, 0, 1, 200)), nullptr);  // same /24
+    EXPECT_EQ(db.lookup(Ipv4Address(23, 9, 9, 9)), nullptr);    // unknown
+}
+
+TEST(GeoIpDatabaseTest, ErrorRateIsDeterministicAndNonZero) {
+    const auto truth = sample_truth();
+    const auto a = derive_database("err", truth, 1.0, 7);
+    const auto b = derive_database("err", truth, 1.0, 7);
+    int wrong = 0;
+    for (const auto& placement : truth.placements()) {
+        EXPECT_EQ(a.lookup(placement.address), b.lookup(placement.address));
+        if (a.lookup(placement.address)->name != placement.city->name) ++wrong;
+    }
+    EXPECT_EQ(wrong, static_cast<int>(truth.placements().size()));  // rate 1.0
+}
+
+TEST(GeoIpDatabaseTest, LongestPrefixWins) {
+    GeoIpDatabase db("manual");
+    db.add_range(net::Ipv4Range{Ipv4Address(23, 0, 0, 0), 8}, *find_city("Frankfurt"));
+    db.add_range(net::Ipv4Range{Ipv4Address(23, 0, 1, 0), 24}, *find_city("London"));
+    EXPECT_EQ(db.lookup(Ipv4Address(23, 0, 1, 5))->name, "London");
+    EXPECT_EQ(db.lookup(Ipv4Address(23, 5, 5, 5))->name, "Frankfurt");
+}
+
+// -------------------------------------------------------------- traceroute
+
+TEST(TracerouteTest, PathStructureAndRtts) {
+    const auto truth = sample_truth();
+    const Traceroute traceroute(truth, 3);
+    const auto hops = traceroute.run(*find_city("London"), Ipv4Address(23, 0, 3, 10));
+    ASSERT_GE(hops.size(), 3U);
+    // TTLs increase, RTTs are monotone-ish, last hop is the destination.
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+        EXPECT_GT(hops[i].ttl, hops[i - 1].ttl);
+    }
+    EXPECT_EQ(hops.back().address, Ipv4Address(23, 0, 3, 10));
+    EXPECT_EQ(hops.back().ptr_name, "nyc-e.samsungacr.com");
+    // Transatlantic: the final RTT respects the physical floor.
+    EXPECT_GT(hops.back().rtt_ms, min_rtt_ms(*find_city("London"), *find_city("New York")));
+}
+
+TEST(TracerouteTest, LocalDestinationIsShort) {
+    const auto truth = sample_truth();
+    const Traceroute traceroute(truth, 3);
+    const auto hops = traceroute.run(*find_city("London"), Ipv4Address(23, 0, 1, 10));
+    EXPECT_LT(hops.back().rtt_ms, 10.0);
+}
+
+// ------------------------------------------------------------- RIPE IPmap
+
+std::vector<const City*> sample_probes() {
+    std::vector<const City*> probes;
+    for (const char* name :
+         {"London", "Amsterdam", "Frankfurt", "New York", "Ashburn", "San Jose", "Tokyo"}) {
+        probes.push_back(find_city(name));
+    }
+    return probes;
+}
+
+TEST(RipeIpMapTest, LatencyEnginePinsProbeCity) {
+    const auto truth = sample_truth();
+    const RipeIpMap ipmap(truth, sample_probes(), 9);
+    const auto verdict = ipmap.latency_engine(Ipv4Address(23, 0, 2, 10));
+    ASSERT_NE(verdict.city, nullptr);
+    EXPECT_EQ(verdict.city->name, "Amsterdam");
+    EXPECT_EQ(verdict.engine, Engine::kLatency);
+    EXPECT_GT(verdict.score, 0.0);
+}
+
+TEST(RipeIpMapTest, LatencyEngineAbstainsWithoutNearbyProbe) {
+    GroundTruth truth;
+    truth.place(Ipv4Address(23, 0, 9, 10), *find_city("Sydney"), "syd-e.example.net");
+    const RipeIpMap ipmap(truth, sample_probes(), 9);  // no probe near Sydney
+    EXPECT_EQ(ipmap.latency_engine(Ipv4Address(23, 0, 9, 10)).city, nullptr);
+}
+
+TEST(RipeIpMapTest, MeasurementsRespectPhysicalFloor) {
+    const auto truth = sample_truth();
+    const RipeIpMap ipmap(truth, sample_probes(), 9);
+    for (const auto& m : ipmap.measure(Ipv4Address(23, 0, 3, 10))) {  // New York
+        EXPECT_GE(m.rtt_ms, min_rtt_ms(*m.probe, *find_city("New York")));
+    }
+}
+
+TEST(RipeIpMapTest, RdnsEngineParsesIataCodes) {
+    const auto truth = sample_truth();
+    const RipeIpMap ipmap(truth, {}, 9);
+    const auto verdict = ipmap.rdns_engine(Ipv4Address(23, 0, 4, 10));
+    ASSERT_NE(verdict.city, nullptr);
+    EXPECT_EQ(verdict.city->name, "Ashburn");
+    EXPECT_EQ(ipmap.rdns_engine(Ipv4Address(9, 9, 9, 9)).city, nullptr);
+}
+
+TEST(RipeIpMapTest, CityFromHostnameVariants) {
+    EXPECT_EQ(city_from_hostname("ams-edge-1.alphonso.tv")->name, "Amsterdam");
+    EXPECT_EQ(city_from_hostname("xe-0.LON.ix.example.net")->name, "London");
+    EXPECT_EQ(city_from_hostname("core7.fra.transit.net")->name, "Frankfurt");
+    EXPECT_EQ(city_from_hostname("no-geo-here.example.com"), nullptr);
+}
+
+TEST(RipeIpMapTest, RegistryEngineAndPrecedence) {
+    GroundTruth truth;
+    // Sydney target: latency abstains (no probe), no PTR hint, registry has
+    // a (stale) answer.
+    truth.place(Ipv4Address(23, 0, 9, 10), *find_city("Sydney"), "edge.example.net");
+    RipeIpMap ipmap(truth, sample_probes(), 9);
+    ipmap.set_registry_entry(Ipv4Address(23, 0, 9, 10), *find_city("Tokyo"));
+    const auto result = ipmap.locate(Ipv4Address(23, 0, 9, 10));
+    ASSERT_NE(result.final_city, nullptr);
+    EXPECT_EQ(result.final_city->name, "Tokyo");
+    EXPECT_EQ(result.deciding_engine, Engine::kRegistry);
+
+    // With a PTR hint, rDNS outranks the registry.
+    GroundTruth truth2;
+    truth2.place(Ipv4Address(23, 0, 9, 10), *find_city("Sydney"), "syd-edge.example.net");
+    RipeIpMap ipmap2(truth2, sample_probes(), 9);
+    ipmap2.set_registry_entry(Ipv4Address(23, 0, 9, 10), *find_city("Tokyo"));
+    const auto result2 = ipmap2.locate(Ipv4Address(23, 0, 9, 10));
+    EXPECT_EQ(result2.final_city->name, "Sydney");
+    EXPECT_EQ(result2.deciding_engine, Engine::kReverseDns);
+}
+
+// -------------------------------------------------------------- geolocator
+
+TEST(GeolocatorTest, ConsensusSkipsIpmap) {
+    const auto truth = sample_truth();
+    const auto perfect_a = derive_database("a", truth, 0.0, 1);
+    const auto perfect_b = derive_database("b", truth, 0.0, 2);
+    const RipeIpMap ipmap(truth, sample_probes(), 9);
+    const Traceroute traceroute(truth, 4);
+    const Geolocator locator(perfect_a, perfect_b, ipmap, traceroute, *find_city("London"));
+
+    const auto result = locator.locate(Ipv4Address(23, 0, 1, 10));
+    EXPECT_TRUE(result.databases_agree);
+    EXPECT_EQ(result.method, "geoip-consensus");
+    EXPECT_EQ(result.final_city->name, "London");
+    EXPECT_TRUE(result.traceroute.empty());
+}
+
+TEST(GeolocatorTest, DisagreementResolvedByIpmap) {
+    const auto truth = sample_truth();
+    const auto perfect = derive_database("a", truth, 0.0, 1);
+    const auto broken = derive_database("b", truth, 1.0, 2);  // always wrong
+    const RipeIpMap ipmap(truth, sample_probes(), 9);
+    const Traceroute traceroute(truth, 4);
+    const Geolocator locator(perfect, broken, ipmap, traceroute, *find_city("London"));
+
+    for (const auto& placement : truth.placements()) {
+        const auto result = locator.locate(placement.address);
+        EXPECT_FALSE(result.databases_agree);
+        ASSERT_NE(result.final_city, nullptr) << placement.address.to_string();
+        // IPmap recovers the physical truth despite the broken database.
+        EXPECT_EQ(result.final_city->name, placement.city->name);
+        EXPECT_TRUE(result.method.find("ripe-ipmap") == 0) << result.method;
+        EXPECT_FALSE(result.traceroute.empty());
+    }
+}
+
+TEST(GeolocatorTest, FallbackWhenEverythingAbstains) {
+    GroundTruth truth;
+    truth.place(Ipv4Address(23, 0, 9, 10), *find_city("Sydney"), "edge.example.net");
+    const auto db_a = derive_database("a", truth, 0.0, 1);
+    const auto db_b = derive_database("b", truth, 1.0, 2);
+    const RipeIpMap ipmap(truth, {}, 9);  // no probes, no registry
+    GroundTruth no_ptr;
+    no_ptr.place(Ipv4Address(23, 0, 9, 10), *find_city("Sydney"), "edge.example.net");
+    const Traceroute traceroute(no_ptr, 4);
+    const Geolocator locator(db_a, db_b, ipmap, traceroute, *find_city("London"));
+    const auto result = locator.locate(Ipv4Address(23, 0, 9, 10));
+    EXPECT_EQ(result.method, "geoip-fallback");
+    ASSERT_NE(result.final_city, nullptr);
+    EXPECT_EQ(result.final_city->name, "Sydney");  // falls back to db_a
+}
+
+}  // namespace
+}  // namespace tvacr::geo

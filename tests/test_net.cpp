@@ -1,0 +1,361 @@
+// Tests for the net substrate: addresses, checksums, header codecs, frame
+// building/parsing, flows and the pcap file format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/address.hpp"
+#include "net/checksum.hpp"
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+#include "net/pcapng.hpp"
+
+namespace tvacr::net {
+namespace {
+
+// --------------------------------------------------------------- addresses
+
+TEST(MacAddressTest, ParseAndFormatRoundTrip) {
+    const auto mac = MacAddress::parse("02:00:ab:cd:ef:01");
+    ASSERT_TRUE(mac.ok());
+    EXPECT_EQ(mac.value().to_string(), "02:00:ab:cd:ef:01");
+}
+
+TEST(MacAddressTest, RejectsMalformed) {
+    EXPECT_FALSE(MacAddress::parse("02:00:ab:cd:ef").ok());
+    EXPECT_FALSE(MacAddress::parse("02:00:ab:cd:ef:zz").ok());
+    EXPECT_FALSE(MacAddress::parse("0200abcdef01").ok());
+}
+
+TEST(MacAddressTest, LocalIsLocallyAdministeredUnicast) {
+    const auto mac = MacAddress::local(7);
+    EXPECT_EQ(mac.octets()[0] & 0x02, 0x02);  // locally administered
+    EXPECT_EQ(mac.octets()[0] & 0x01, 0x00);  // unicast
+    EXPECT_NE(MacAddress::local(1), MacAddress::local(2));
+}
+
+TEST(MacAddressTest, Broadcast) {
+    EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+    EXPECT_FALSE(MacAddress::local(1).is_broadcast());
+}
+
+TEST(Ipv4AddressTest, ParseAndFormatRoundTrip) {
+    const auto ip = Ipv4Address::parse("192.168.10.25");
+    ASSERT_TRUE(ip.ok());
+    EXPECT_EQ(ip.value().to_string(), "192.168.10.25");
+    EXPECT_EQ(ip.value(), Ipv4Address(192, 168, 10, 25));
+}
+
+TEST(Ipv4AddressTest, RejectsMalformed) {
+    EXPECT_FALSE(Ipv4Address::parse("192.168.1").ok());
+    EXPECT_FALSE(Ipv4Address::parse("192.168.1.256").ok());
+    EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").ok());
+    EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").ok());
+    EXPECT_FALSE(Ipv4Address::parse("1..2.3").ok());
+}
+
+TEST(Ipv4RangeTest, ContainsRespectsPrefix) {
+    const auto range = Ipv4Range::parse("203.0.113.0/24");
+    ASSERT_TRUE(range.ok());
+    EXPECT_TRUE(range.value().contains(Ipv4Address(203, 0, 113, 77)));
+    EXPECT_FALSE(range.value().contains(Ipv4Address(203, 0, 114, 1)));
+}
+
+TEST(Ipv4RangeTest, HostAndUniversalPrefixes) {
+    const auto host = Ipv4Range{Ipv4Address(10, 0, 0, 1), 32};
+    EXPECT_TRUE(host.contains(Ipv4Address(10, 0, 0, 1)));
+    EXPECT_FALSE(host.contains(Ipv4Address(10, 0, 0, 2)));
+    const auto all = Ipv4Range{Ipv4Address(0, 0, 0, 0), 0};
+    EXPECT_TRUE(all.contains(Ipv4Address(255, 255, 255, 255)));
+}
+
+// ---------------------------------------------------------------- checksum
+
+TEST(ChecksumTest, Rfc1071WorkedExample) {
+    // Classic example from RFC 1071 §3: words 0001 f203 f4f5 f6f7.
+    const Bytes data = {0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7};
+    EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xDDF2 & 0xFFFF));
+}
+
+TEST(ChecksumTest, OddLengthPadsWithZero) {
+    const Bytes even = {0x12, 0x34, 0x56, 0x00};
+    const Bytes odd = {0x12, 0x34, 0x56};
+    EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(ChecksumTest, VerifiesToZeroWhenEmbedded) {
+    // A buffer with its own checksum embedded sums to zero.
+    Bytes data = {0x45, 0x00, 0x00, 0x1C, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+                  0x00, 0x00, 0xC0, 0xA8, 0x00, 0x01, 0xC0, 0xA8, 0x00, 0x02};
+    const std::uint16_t checksum = internet_checksum(data);
+    data[10] = static_cast<std::uint8_t>(checksum >> 8);
+    data[11] = static_cast<std::uint8_t>(checksum);
+    EXPECT_EQ(internet_checksum(data), 0);
+}
+
+// ------------------------------------------------------------ frame builder
+
+Packet make_tcp_frame(const Bytes& payload = {}) {
+    const FrameBuilder builder(MacAddress::local(1), MacAddress::local(2));
+    return builder.tcp(SimTime::millis(5), Endpoint{Ipv4Address(192, 168, 0, 2), 50000},
+                       Endpoint{Ipv4Address(203, 0, 113, 5), 443}, 1000, 2000,
+                       TcpFlags::kPsh | TcpFlags::kAck, payload);
+}
+
+TEST(FrameBuilderTest, TcpFrameParsesBack) {
+    const Bytes payload = {1, 2, 3, 4, 5};
+    const Packet frame = make_tcp_frame(payload);
+    const auto parsed = parse_packet(frame);
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_TRUE(parsed.value().tcp.has_value());
+    EXPECT_EQ(parsed.value().ip->source, Ipv4Address(192, 168, 0, 2));
+    EXPECT_EQ(parsed.value().ip->destination, Ipv4Address(203, 0, 113, 5));
+    EXPECT_EQ(parsed.value().tcp->source_port, 50000);
+    EXPECT_EQ(parsed.value().tcp->destination_port, 443);
+    EXPECT_EQ(parsed.value().tcp->sequence, 1000U);
+    EXPECT_EQ(parsed.value().tcp->acknowledgment, 2000U);
+    EXPECT_TRUE(parsed.value().tcp->has(TcpFlags::kPsh));
+    EXPECT_EQ(parsed.value().payload, payload);
+    EXPECT_EQ(parsed.value().timestamp, SimTime::millis(5));
+}
+
+TEST(FrameBuilderTest, TcpFrameSizeIsExact) {
+    // 14 (eth) + 20 (ip) + 20 (tcp) + payload.
+    EXPECT_EQ(make_tcp_frame().size(), 54U);
+    const Bytes payload(100, 0xAA);
+    EXPECT_EQ(make_tcp_frame(payload).size(), 154U);
+}
+
+TEST(FrameBuilderTest, UdpFrameParsesBack) {
+    const FrameBuilder builder(MacAddress::local(3), MacAddress::local(4));
+    const Bytes payload = {9, 8, 7};
+    const Packet frame = builder.udp(SimTime::seconds(1), Endpoint{Ipv4Address(10, 0, 0, 1), 5353},
+                                     Endpoint{Ipv4Address(10, 0, 0, 2), 53}, payload);
+    const auto parsed = parse_packet(frame);
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_TRUE(parsed.value().udp.has_value());
+    EXPECT_EQ(parsed.value().udp->source_port, 5353);
+    EXPECT_EQ(parsed.value().udp->destination_port, 53);
+    EXPECT_EQ(parsed.value().payload, payload);
+    EXPECT_EQ(frame.size(), 14U + 20U + 8U + 3U);
+}
+
+TEST(ParsePacketTest, CorruptedIpChecksumIsRejected) {
+    Packet frame = make_tcp_frame({1, 2, 3});
+    frame.data[16] ^= 0xFF;  // flip a byte inside the IPv4 header
+    EXPECT_FALSE(parse_packet(frame).ok());
+}
+
+TEST(ParsePacketTest, TruncatedFrameIsRejected) {
+    Packet frame = make_tcp_frame({1, 2, 3});
+    frame.data.resize(frame.data.size() - 2);
+    EXPECT_FALSE(parse_packet(frame).ok());
+}
+
+TEST(ParsePacketTest, NonIpFrameYieldsL2Only) {
+    ByteWriter w;
+    EthernetHeader eth{MacAddress::broadcast(), MacAddress::local(9), EtherType::kArp};
+    eth.encode(w);
+    w.fill(28, 0);  // ARP body
+    const auto parsed = parse_packet(Packet{SimTime{}, std::move(w).take()});
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_FALSE(parsed.value().ip.has_value());
+    EXPECT_FALSE(parsed.value().is_tcp());
+    EXPECT_FALSE(parsed.value().is_udp());
+}
+
+// -------------------------------------------------------------------- flows
+
+TEST(FiveTupleTest, CanonicalIsDirectionInsensitive) {
+    const FiveTuple forward{Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 1111, 443,
+                            IpProtocol::kTcp};
+    FiveTuple backward = forward;
+    std::swap(backward.source, backward.destination);
+    std::swap(backward.source_port, backward.destination_port);
+    EXPECT_EQ(forward.canonical(), backward.canonical());
+    EXPECT_NE(forward, backward);
+}
+
+TEST(FlowTableTest, AggregatesBothDirections) {
+    FlowTable table;
+    const FrameBuilder tv(MacAddress::local(1), MacAddress::local(2));
+    const FrameBuilder server(MacAddress::local(2), MacAddress::local(1));
+    const Endpoint tv_ep{Ipv4Address(192, 168, 0, 2), 40000};
+    const Endpoint server_ep{Ipv4Address(203, 0, 113, 9), 443};
+
+    const Bytes up(100, 1);
+    const Bytes down(700, 2);
+    table.add(parse_packet(tv.tcp(SimTime::millis(1), tv_ep, server_ep, 1, 1,
+                                  TcpFlags::kAck, up)).value());
+    table.add(parse_packet(server.tcp(SimTime::millis(2), server_ep, tv_ep, 1, 101,
+                                      TcpFlags::kAck, down)).value());
+
+    EXPECT_EQ(table.flow_count(), 1U);
+    const FiveTuple key{tv_ep.address, server_ep.address, tv_ep.port, server_ep.port,
+                        IpProtocol::kTcp};
+    const auto* stats = table.find(key);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->packets, 2U);
+    EXPECT_EQ(stats->payload_bytes, 800U);
+    EXPECT_EQ(stats->bytes, 800U + 2 * 54U);
+    EXPECT_EQ(stats->first_seen, SimTime::millis(1));
+    EXPECT_EQ(stats->last_seen, SimTime::millis(2));
+}
+
+TEST(FlowTableTest, SortedByBytesDescending) {
+    FlowTable table;
+    const FrameBuilder builder(MacAddress::local(1), MacAddress::local(2));
+    const Endpoint a{Ipv4Address(10, 0, 0, 1), 1000};
+    const Endpoint big{Ipv4Address(10, 9, 9, 9), 443};
+    const Endpoint small{Ipv4Address(10, 8, 8, 8), 443};
+    table.add(parse_packet(builder.tcp(SimTime{}, a, big, 1, 1, 0, Bytes(500, 0))).value());
+    table.add(parse_packet(builder.tcp(SimTime{}, a, small, 1, 1, 0, Bytes(5, 0))).value());
+    const auto sorted = table.sorted_by_bytes();
+    ASSERT_EQ(sorted.size(), 2U);
+    EXPECT_EQ(sorted[0].first.canonical().destination_port, 443);
+    EXPECT_GT(sorted[0].second.bytes, sorted[1].second.bytes);
+}
+
+// --------------------------------------------------------------------- pcap
+
+std::vector<Packet> sample_packets() {
+    std::vector<Packet> packets;
+    packets.push_back(make_tcp_frame({1, 2, 3}));
+    packets.push_back(make_tcp_frame(Bytes(200, 0x55)));
+    packets[1].timestamp = SimTime::seconds(2) + SimTime::micros(123456);
+    return packets;
+}
+
+TEST(PcapTest, RoundTripInMemory) {
+    const auto original = sample_packets();
+    const Bytes file = to_pcap_bytes(original);
+    const auto restored = from_pcap_bytes(file);
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(restored.value().size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(restored.value()[i].timestamp, original[i].timestamp);
+        EXPECT_EQ(restored.value()[i].data, original[i].data);
+    }
+}
+
+TEST(PcapTest, GlobalHeaderFields) {
+    const Bytes file = to_pcap_bytes({});
+    ASSERT_GE(file.size(), 24U);
+    // Little-endian magic, version 2.4, linktype 1.
+    EXPECT_EQ(file[0], 0xD4);
+    EXPECT_EQ(file[1], 0xC3);
+    EXPECT_EQ(file[2], 0xB2);
+    EXPECT_EQ(file[3], 0xA1);
+    EXPECT_EQ(file[4], 2);
+    EXPECT_EQ(file[6], 4);
+    EXPECT_EQ(file[20], 1);
+}
+
+TEST(PcapTest, StreamingWriterMatchesBatch) {
+    const auto packets = sample_packets();
+    std::ostringstream stream;
+    PcapWriter writer(stream);
+    for (const auto& packet : packets) writer.write(packet);
+    EXPECT_EQ(writer.packets_written(), packets.size());
+    const std::string s = stream.str();
+    const Bytes streamed(s.begin(), s.end());
+    EXPECT_EQ(streamed, to_pcap_bytes(packets));
+}
+
+TEST(PcapTest, ToleratesTruncatedFinalRecord) {
+    Bytes file = to_pcap_bytes(sample_packets());
+    file.resize(file.size() - 10);  // cut into the final packet body
+    const auto restored = from_pcap_bytes(file);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().size(), 1U);
+}
+
+TEST(PcapTest, RejectsGarbageMagic) {
+    Bytes file = to_pcap_bytes(sample_packets());
+    file[0] ^= 0xFF;
+    EXPECT_FALSE(from_pcap_bytes(file).ok());
+}
+
+TEST(PcapTest, FileRoundTrip) {
+    const auto packets = sample_packets();
+    const std::string path = ::testing::TempDir() + "tvacr_pcap_test.pcap";
+    ASSERT_TRUE(write_pcap_file(path, packets).ok());
+    const auto restored = read_pcap_file(path);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().size(), packets.size());
+    EXPECT_FALSE(read_pcap_file(path + ".missing").ok());
+}
+
+// ------------------------------------------------------------------- pcapng
+
+TEST(PcapngTest, RoundTripInMemory) {
+    const auto original = sample_packets();
+    const auto restored = from_pcapng_bytes(to_pcapng_bytes(original));
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(restored.value().size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(restored.value()[i].timestamp, original[i].timestamp);
+        EXPECT_EQ(restored.value()[i].data, original[i].data);
+    }
+}
+
+TEST(PcapngTest, BlocksAre32BitAligned) {
+    const Bytes file = to_pcapng_bytes(sample_packets());
+    EXPECT_EQ(file.size() % 4, 0U);
+    // First block is the SHB with the little-endian byte-order magic.
+    EXPECT_EQ(file[0], 0x0A);
+    EXPECT_EQ(file[3], 0x0A);
+    EXPECT_EQ(file[8], 0x4D);
+    EXPECT_EQ(file[11], 0x1A);
+}
+
+TEST(PcapngTest, SkipsUnknownBlocks) {
+    // Inject a Name Resolution Block (type 4) between IDB and EPBs.
+    const auto packets = sample_packets();
+    Bytes file = to_pcapng_bytes(packets);
+    // Build an unknown block and splice after SHB (28 bytes) + IDB (20).
+    const Bytes unknown = {0x04, 0, 0, 0, 0x10, 0, 0, 0, 0xAA, 0xBB, 0xCC, 0xDD,
+                           0x10, 0, 0, 0};
+    file.insert(file.begin() + 48, unknown.begin(), unknown.end());
+    const auto restored = from_pcapng_bytes(file);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().size(), packets.size());
+}
+
+TEST(PcapngTest, ToleratesTruncatedTail) {
+    Bytes file = to_pcapng_bytes(sample_packets());
+    file.resize(file.size() - 7);
+    const auto restored = from_pcapng_bytes(file);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().size(), 1U);
+}
+
+TEST(PcapngTest, RejectsGarbage) {
+    EXPECT_FALSE(from_pcapng_bytes(Bytes{1, 2, 3, 4, 5, 6}).ok());
+    Bytes file = to_pcapng_bytes(sample_packets());
+    file[8] ^= 0xFF;  // byte-order magic
+    EXPECT_FALSE(from_pcapng_bytes(file).ok());
+}
+
+TEST(PcapngTest, ReadAnyCaptureDispatches) {
+    const auto packets = sample_packets();
+    const auto via_pcap = read_any_capture(to_pcap_bytes(packets));
+    const auto via_pcapng = read_any_capture(to_pcapng_bytes(packets));
+    ASSERT_TRUE(via_pcap.ok());
+    ASSERT_TRUE(via_pcapng.ok());
+    EXPECT_EQ(via_pcap.value().size(), packets.size());
+    EXPECT_EQ(via_pcapng.value().size(), packets.size());
+}
+
+TEST(PcapngTest, FileRoundTrip) {
+    const auto packets = sample_packets();
+    const std::string path = ::testing::TempDir() + "tvacr_pcapng_test.pcapng";
+    ASSERT_TRUE(write_pcapng_file(path, packets).ok());
+    const auto restored = read_any_capture_file(path);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().size(), packets.size());
+}
+
+}  // namespace
+}  // namespace tvacr::net

@@ -1,0 +1,47 @@
+// Full-length regression guard: one pair of flagship experiments at the
+// paper's true one-hour duration, asserting the headline Table-2 cells stay
+// within 2x of the published values. This is the canary that catches
+// calibration drift from any future change; the benches print the full
+// tables.
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/paper.hpp"
+
+namespace tvacr::core {
+namespace {
+
+double hourly_kb(tv::Brand brand, const std::string& domain) {
+    ExperimentSpec spec;
+    spec.brand = brand;
+    spec.country = tv::Country::kUk;
+    spec.scenario = tv::Scenario::kLinear;
+    spec.phase = tv::Phase::kLInOIn;
+    spec.duration = SimTime::hours(1);
+    spec.seed = 2024;
+    const auto trace = trace_of(ExperimentRunner::run(spec));
+    const auto it = trace.kb_per_domain.find(domain);
+    return it == trace.kb_per_domain.end() ? 0.0 : it->second;
+}
+
+TEST(CalibrationRegression, LgLinearHourMatchesTable2) {
+    const double measured = hourly_kb(tv::Brand::kLg, "eu-acrX.alphonso.tv");
+    const double paper = *paper_kb(tv::Country::kUk, tv::Phase::kLInOIn,
+                                   "eu-acrX.alphonso.tv", tv::Scenario::kLinear);
+    EXPECT_GT(measured, paper / 2.0);
+    EXPECT_LT(measured, paper * 2.0);
+    // Tighter aspiration: within 15%.
+    EXPECT_NEAR(measured / paper, 1.0, 0.15);
+}
+
+TEST(CalibrationRegression, SamsungLinearHourMatchesTable2) {
+    const double measured = hourly_kb(tv::Brand::kSamsung, "acr-eu-prd.samsungcloud.tv");
+    const double paper = *paper_kb(tv::Country::kUk, tv::Phase::kLInOIn,
+                                   "acr-eu-prd.samsungcloud.tv", tv::Scenario::kLinear);
+    EXPECT_GT(measured, paper / 2.0);
+    EXPECT_LT(measured, paper * 2.0);
+    EXPECT_NEAR(measured / paper, 1.0, 0.20);
+}
+
+}  // namespace
+}  // namespace tvacr::core

@@ -1,0 +1,564 @@
+// Integration tests for the simulator substrate: event ordering, the
+// station/AP/cloud topology with capture tap, DNS over the simulated
+// internet, TCP exchanges and TLS sessions as seen by the capture.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dns/message.hpp"
+#include "net/flow.hpp"
+#include "sim/access_point.hpp"
+#include "sim/cloud.hpp"
+#include "sim/dns_client.hpp"
+#include "sim/simulator.hpp"
+#include "sim/smart_plug.hpp"
+#include "sim/station.hpp"
+#include "sim/tcp.hpp"
+#include "sim/tls.hpp"
+
+namespace tvacr::sim {
+namespace {
+
+using net::Ipv4Address;
+
+// ---------------------------------------------------------------- simulator
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.at(SimTime::millis(20), [&]() { order.push_back(2); });
+    sim.at(SimTime::millis(10), [&]() { order.push_back(1); });
+    sim.at(SimTime::millis(30), [&]() { order.push_back(3); });
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), SimTime::millis(30));
+    EXPECT_EQ(sim.events_processed(), 3U);
+}
+
+TEST(SimulatorTest, SameTimeEventsAreFifo) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.at(SimTime::millis(5), [&, i]() { order.push_back(i); });
+    }
+    sim.run_all();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+    Simulator sim;
+    int fired = 0;
+    sim.at(SimTime::seconds(1), [&]() { ++fired; });
+    sim.at(SimTime::seconds(3), [&]() { ++fired; });
+    sim.run_until(SimTime::seconds(2));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), SimTime::seconds(2));
+    EXPECT_EQ(sim.pending_events(), 1U);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&]() {
+        if (++depth < 5) sim.after(SimTime::millis(1), recurse);
+    };
+    sim.after(SimTime::millis(1), recurse);
+    sim.run_all();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sim.now(), SimTime::millis(5));
+}
+
+// ----------------------------------------------------------------- topology
+
+struct Testbed {
+    Simulator sim;
+    AccessPoint ap{sim, net::MacAddress::local(0xA9), Ipv4Address(192, 168, 4, 1),
+                   LatencyModel{SimTime::millis(2), SimTime::micros(300)}, 101};
+    Cloud cloud{sim, 202};
+    Station tv{sim, "tv", net::MacAddress::local(0x71), Ipv4Address(192, 168, 4, 23)};
+    std::vector<net::Packet> capture;
+
+    Testbed() {
+        ap.set_cloud(cloud);
+        tv.attach(ap);
+        cloud.enable_dns(Ipv4Address(9, 9, 9, 9));
+        cloud.set_default_route(LatencyModel{SimTime::millis(12), SimTime::millis(2)});
+        ap.set_tap([this](const net::Packet& packet) { capture.push_back(packet); });
+    }
+};
+
+TEST(TopologyTest, DnsQueryIsAnsweredAndCaptured) {
+    Testbed bed;
+    bed.cloud.zone().add_a("acr-eu-prd.samsungcloud.tv", Ipv4Address(20, 30, 40, 50));
+
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55);
+    std::optional<Ipv4Address> answer;
+    resolver.resolve("acr-eu-prd.samsungcloud.tv",
+                     [&](std::optional<Ipv4Address> address) { answer = address; });
+    bed.sim.run_all();
+
+    ASSERT_TRUE(answer.has_value());
+    EXPECT_EQ(*answer, Ipv4Address(20, 30, 40, 50));
+    // Capture holds the query and the response, both UDP port 53.
+    ASSERT_EQ(bed.capture.size(), 2U);
+    const auto query = net::parse_packet(bed.capture[0]).value();
+    const auto response = net::parse_packet(bed.capture[1]).value();
+    EXPECT_EQ(query.udp->destination_port, dns::kDnsPort);
+    EXPECT_EQ(response.udp->source_port, dns::kDnsPort);
+    EXPECT_GT(response.timestamp, query.timestamp);
+    const auto decoded = dns::DnsMessage::decode(response.payload);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().answers.size(), 1U);
+}
+
+TEST(TopologyTest, DnsCacheSuppressesSecondQuery) {
+    Testbed bed;
+    bed.cloud.zone().add_a("example.com", Ipv4Address(1, 1, 1, 1));
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55);
+    int answers = 0;
+    resolver.resolve("example.com", [&](auto) { ++answers; });
+    bed.sim.run_all();
+    resolver.resolve("example.com", [&](auto) { ++answers; });
+    bed.sim.run_all();
+    EXPECT_EQ(answers, 2);
+    EXPECT_EQ(resolver.queries_sent(), 1U);
+    EXPECT_EQ(resolver.cache_hits(), 1U);
+}
+
+TEST(TopologyTest, UnknownNameResolvesToNullopt) {
+    Testbed bed;
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55);
+    bool called = false;
+    std::optional<Ipv4Address> answer = Ipv4Address(9, 9, 9, 9);
+    resolver.resolve("nonexistent.example.org", [&](std::optional<Ipv4Address> address) {
+        called = true;
+        answer = address;
+    });
+    bed.sim.run_all();
+    EXPECT_TRUE(called);
+    EXPECT_FALSE(answer.has_value());
+}
+
+TEST(TopologyTest, OfflineStationSendsNothing) {
+    Testbed bed;
+    bed.cloud.zone().add_a("example.com", Ipv4Address(1, 1, 1, 1));
+    bed.tv.set_online(false);
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55);
+    resolver.resolve("example.com", [](auto) {});
+    bed.sim.run_until(SimTime::seconds(30));
+    EXPECT_TRUE(bed.capture.empty());
+    EXPECT_EQ(bed.tv.frames_sent(), 0U);
+}
+
+TEST(TopologyTest, CaptureCanBePaused) {
+    Testbed bed;
+    bed.cloud.zone().add_a("example.com", Ipv4Address(1, 1, 1, 1));
+    bed.ap.set_capturing(false);
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55);
+    bool answered = false;
+    resolver.resolve("example.com", [&](auto address) { answered = address.has_value(); });
+    bed.sim.run_all();
+    EXPECT_TRUE(answered);  // traffic flows
+    EXPECT_TRUE(bed.capture.empty());  // but is not recorded
+}
+
+// ---------------------------------------------------------------------- tcp
+
+TEST(TcpTest, HandshakeExchangeAndCloseProduceExpectedSegments) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    Bytes served_request;
+    TcpConnection conn(
+        bed.sim, bed.tv, bed.cloud, server,
+        [&](BytesView request) -> Bytes {
+            served_request.assign(request.begin(), request.end());
+            return Bytes(2000, 0xBB);
+        });
+
+    bool established = false;
+    Bytes response;
+    bool closed = false;
+    conn.connect([&]() { established = true; });
+    conn.exchange(Bytes(3000, 0xAA), [&](Bytes r) {
+        response = std::move(r);
+        conn.close([&]() { closed = true; });
+    });
+    bed.sim.run_all();
+
+    EXPECT_TRUE(established);
+    EXPECT_TRUE(closed);
+    EXPECT_EQ(served_request.size(), 3000U);
+    EXPECT_EQ(response.size(), 2000U);
+    EXPECT_TRUE(conn.closed());
+
+    // Validate the captured conversation: SYN, SYN-ACK, 3 data segments up
+    // (3000 = 1460+1460+80), 2 down, ACKs, FIN exchange.
+    net::FlowTable table;
+    int syn = 0;
+    int fin = 0;
+    std::uint64_t up_payload = 0;
+    std::uint64_t down_payload = 0;
+    for (const auto& raw : bed.capture) {
+        const auto packet = net::parse_packet(raw).value();
+        ASSERT_TRUE(packet.tcp.has_value());
+        table.add(packet);
+        if (packet.tcp->has(net::TcpFlags::kSyn)) ++syn;
+        if (packet.tcp->has(net::TcpFlags::kFin)) ++fin;
+        if (packet.ip->source == bed.tv.ip()) up_payload += packet.payload.size();
+        if (packet.ip->destination == bed.tv.ip()) down_payload += packet.payload.size();
+    }
+    EXPECT_EQ(syn, 2);
+    EXPECT_EQ(fin, 2);
+    EXPECT_EQ(up_payload, 3000U);
+    EXPECT_EQ(down_payload, 2000U);
+    EXPECT_EQ(table.flow_count(), 1U);
+
+    // Timestamps are strictly ordered per direction and globally monotone
+    // within jitter bounds.
+    for (std::size_t i = 1; i < bed.capture.size(); ++i) {
+        EXPECT_GE(bed.capture[i].timestamp, bed.capture[i - 1].timestamp);
+    }
+}
+
+TEST(TcpTest, SequentialExchangesOnOneConnection) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    int served = 0;
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server, [&](BytesView request) -> Bytes {
+        ++served;
+        return Bytes(request.size() / 2, 0x11);  // half-size echo
+    });
+    std::vector<std::size_t> responses;
+    conn.connect([]() {});
+    conn.exchange(Bytes(100, 1), [&](Bytes r) { responses.push_back(r.size()); });
+    conn.exchange(Bytes(500, 2), [&](Bytes r) { responses.push_back(r.size()); });
+    conn.exchange(Bytes(4000, 3), [&](Bytes r) { responses.push_back(r.size()); });
+    bed.sim.run_all();
+    EXPECT_EQ(served, 3);
+    ASSERT_EQ(responses.size(), 3U);
+    EXPECT_EQ(responses[0], 50U);
+    EXPECT_EQ(responses[1], 250U);
+    EXPECT_EQ(responses[2], 2000U);
+}
+
+TEST(TcpTest, SegmentSizesHonourMss) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TcpConnection::Config config;
+    config.mss = 1000;
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(1, 0); }, config);
+    conn.connect([]() {});
+    conn.exchange(Bytes(2500, 0xCC), [](Bytes) {});
+    bed.sim.run_all();
+
+    std::vector<std::size_t> up_sizes;
+    for (const auto& raw : bed.capture) {
+        const auto packet = net::parse_packet(raw).value();
+        if (packet.ip->source == bed.tv.ip() && !packet.payload.empty()) {
+            up_sizes.push_back(packet.payload.size());
+        }
+    }
+    EXPECT_EQ(up_sizes, (std::vector<std::size_t>{1000, 1000, 500}));
+}
+
+TEST(TcpTest, SlowStartRampsFlightSizes) {
+    // A large transfer must leave in RTT-spaced flights that grow: the
+    // initial window first, then more per ACK round — not one fixed drip.
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(1, 0); });
+    conn.connect([]() {});
+    conn.exchange(Bytes(60000, 0xAB), [](Bytes) {});
+    bed.sim.run_all();
+
+    // Collect uplink data-segment timestamps and group into flights
+    // separated by > 5 ms gaps (the path RTT dwarfs intra-flight pacing).
+    std::vector<SimTime> sends;
+    for (const auto& raw : bed.capture) {
+        const auto packet = net::parse_packet(raw).value();
+        if (packet.tcp && packet.ip->source == bed.tv.ip() && !packet.payload.empty()) {
+            sends.push_back(packet.timestamp);
+        }
+    }
+    ASSERT_GT(sends.size(), 20U);  // 60000/1460 = 42 segments
+    std::vector<int> flights;
+    for (std::size_t i = 0; i < sends.size(); ++i) {
+        if (i == 0 || (sends[i] - sends[i - 1]) > SimTime::millis(5)) flights.push_back(0);
+        flights.back() += 1;
+    }
+    ASSERT_GE(flights.size(), 2U);          // the transfer needed several rounds
+    EXPECT_EQ(flights[0], 10);              // IW10 initial flight
+    EXPECT_GT(flights[1], flights[0]);      // window grew after the first round
+}
+
+TEST(TcpTest, LargeBidirectionalTransferIsByteExact) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    Bytes seen;
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server, [&](BytesView request) {
+        seen.assign(request.begin(), request.end());
+        Bytes response(77777);
+        for (std::size_t i = 0; i < response.size(); ++i) {
+            response[i] = static_cast<std::uint8_t>(i * 31);
+        }
+        return response;
+    });
+    Bytes request(123456);
+    for (std::size_t i = 0; i < request.size(); ++i) {
+        request[i] = static_cast<std::uint8_t>(i * 17);
+    }
+    Bytes response;
+    conn.connect([&]() {
+        conn.exchange(request, [&](Bytes r) { response = std::move(r); });
+    });
+    bed.sim.run_all();
+    EXPECT_EQ(seen, request);
+    ASSERT_EQ(response.size(), 77777U);
+    for (std::size_t i = 0; i < response.size(); ++i) {
+        ASSERT_EQ(response[i], static_cast<std::uint8_t>(i * 31)) << i;
+    }
+}
+
+TEST(TcpTest, RecoversFromHeavyDataLoss) {
+    // 10% loss on both directions of the data path: the transfer must still
+    // complete byte-exact via RTO / fast-retransmit repair.
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    bed.cloud.set_route_loss(server.address, 0.10);
+
+    Bytes seen;
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server, [&](BytesView request) {
+        seen.assign(request.begin(), request.end());
+        Bytes response(40000);
+        for (std::size_t i = 0; i < response.size(); ++i) {
+            response[i] = static_cast<std::uint8_t>(i * 11);
+        }
+        return response;
+    });
+
+    Bytes request(30000);
+    for (std::size_t i = 0; i < request.size(); ++i) {
+        request[i] = static_cast<std::uint8_t>(i * 3);
+    }
+    Bytes response;
+    conn.connect([&]() {
+        conn.exchange(request, [&](Bytes r) { response = std::move(r); });
+    });
+    bed.sim.run_all();
+
+    EXPECT_EQ(seen, request);
+    ASSERT_EQ(response.size(), 40000U);
+    for (std::size_t i = 0; i < response.size(); ++i) {
+        ASSERT_EQ(response[i], static_cast<std::uint8_t>(i * 11)) << i;
+    }
+    EXPECT_GT(conn.retransmitted_segments(), 0U);
+    EXPECT_GT(bed.cloud.data_segments_dropped(), 0U);
+}
+
+TEST(TcpTest, TailLossRepairedByTimeout) {
+    // Losing the *final* segment produces no duplicate ACKs — only the RTO
+    // can repair it. Use a single-segment response so the tail is all there
+    // is, with a loss rate high enough to hit it.
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    bed.cloud.set_route_loss(server.address, 0.45);
+
+    int completed = 0;
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(100, 0x5A); });
+    conn.connect([&]() {
+        for (int i = 0; i < 10; ++i) {
+            conn.exchange(Bytes(100, 0x11), [&](Bytes r) {
+                if (r.size() == 100) ++completed;
+            });
+        }
+    });
+    bed.sim.run_all();
+    EXPECT_EQ(completed, 10);
+    EXPECT_GT(conn.retransmitted_segments(), 0U);
+}
+
+TEST(TcpTest, NoLossMeansNoRetransmissions) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(20000, 0); });
+    conn.connect([]() {});
+    conn.exchange(Bytes(20000, 1), [](Bytes) {});
+    bed.sim.run_all();
+    EXPECT_EQ(conn.retransmitted_segments(), 0U);
+    EXPECT_EQ(bed.cloud.data_segments_dropped(), 0U);
+}
+
+// ---------------------------------------------------------------------- tls
+
+TEST(TlsTest, HandshakeThenApplicationData) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    Bytes seen_by_app;
+    TlsSession session(
+        bed.sim, bed.tv, bed.cloud, server,
+        [&](BytesView plaintext) -> Bytes {
+            seen_by_app.assign(plaintext.begin(), plaintext.end());
+            return Bytes(300, 0x42);
+        },
+        /*seed=*/77);
+
+    bool ready = false;
+    Bytes reply;
+    session.open([&]() { ready = true; });
+    session.send(Bytes(1200, 0x10), [&](Bytes response) { reply = std::move(response); });
+    bed.sim.run_all();
+
+    EXPECT_TRUE(ready);
+    EXPECT_EQ(seen_by_app.size(), 1200U);
+    ASSERT_EQ(reply.size(), 300U);
+    EXPECT_EQ(reply[0], 0x42);
+}
+
+TEST(TlsTest, WireBytesExceedPlaintextByRecordOverhead) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TlsSession session(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(1, 0); }, 77);
+    EXPECT_EQ(session.sealed_size(100), 122U);          // one record
+    EXPECT_EQ(session.sealed_size(16384), 16384U + 22U);
+    EXPECT_EQ(session.sealed_size(16385), 16385U + 44U);  // two records
+    EXPECT_EQ(session.sealed_size(0), 1U + 22U);
+
+    session.open([]() {});
+    bed.sim.run_all();
+    // The handshake alone moves at least client_hello + server_flight bytes.
+    std::uint64_t payload = 0;
+    for (const auto& raw : bed.capture) {
+        payload += net::parse_packet(raw).value().payload.size();
+    }
+    EXPECT_GT(payload, 517U + 4300U);
+}
+
+TEST(TlsTest, QueuedSendsPairRequestsWithResponses) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TlsSession session(
+        bed.sim, bed.tv, bed.cloud, server,
+        [](BytesView plaintext) -> Bytes { return Bytes(plaintext.size(), 0x5A); }, 78);
+    std::vector<std::size_t> replies;
+    session.open([]() {});
+    session.send(Bytes(10, 0), [&](Bytes r) { replies.push_back(r.size()); });
+    session.send(Bytes(20, 0), [&](Bytes r) { replies.push_back(r.size()); });
+    session.send(Bytes(30, 0), [&](Bytes r) { replies.push_back(r.size()); });
+    bed.sim.run_all();
+    EXPECT_EQ(replies, (std::vector<std::size_t>{10, 20, 30}));
+}
+
+TEST(TlsTest, CloseCompletesFinHandshake) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TlsSession session(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(64, 0); }, 91);
+    bool closed = false;
+    session.open([&]() {
+        session.send(Bytes(100, 1), [&](Bytes) { session.close([&]() { closed = true; }); });
+    });
+    bed.sim.run_all();
+    EXPECT_TRUE(closed);
+    EXPECT_TRUE(session.closed());
+    EXPECT_FALSE(session.ready());
+}
+
+TEST(TopologyTest, DnsCacheHonoursTtlExpiry) {
+    Testbed bed;
+    // Short-TTL record: the second resolve after expiry re-queries.
+    const auto name = dns::DomainName::parse("rotating.example.com").value();
+    bed.cloud.zone().add(dns::ResourceRecord::a(name, Ipv4Address(1, 2, 3, 4), /*ttl=*/5));
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55);
+
+    resolver.resolve("rotating.example.com", [](auto) {});
+    bed.sim.run_all();
+    EXPECT_EQ(resolver.queries_sent(), 1U);
+
+    // Within TTL: served from cache.
+    bed.sim.at(bed.sim.now() + SimTime::seconds(2), [&]() {
+        resolver.resolve("rotating.example.com", [](auto) {});
+    });
+    bed.sim.run_all();
+    EXPECT_EQ(resolver.queries_sent(), 1U);
+    EXPECT_EQ(resolver.cache_hits(), 1U);
+
+    // Past TTL: a fresh query goes out.
+    bed.sim.at(bed.sim.now() + SimTime::seconds(10), [&]() {
+        resolver.resolve("rotating.example.com", [](auto) {});
+    });
+    bed.sim.run_all();
+    EXPECT_EQ(resolver.queries_sent(), 2U);
+}
+
+TEST(TopologyTest, NxdomainIsNegativelyCached) {
+    Testbed bed;
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55);
+    int callbacks = 0;
+    for (int i = 0; i < 3; ++i) {
+        resolver.resolve("ghost.example.org", [&](std::optional<Ipv4Address> address) {
+            EXPECT_FALSE(address.has_value());
+            ++callbacks;
+        });
+        bed.sim.run_all();
+    }
+    EXPECT_EQ(callbacks, 3);
+    EXPECT_EQ(resolver.queries_sent(), 1U);          // first miss hits the wire
+    EXPECT_EQ(resolver.negative_cache_hits(), 2U);   // the rest are cached
+}
+
+TEST(TopologyTest, PortAllocationSkipsBoundPorts) {
+    Testbed bed;
+    // Bind a specific port, then allocate until the allocator would collide.
+    bed.tv.bind_udp(49153, [](net::Endpoint, Bytes) {});
+    std::set<std::uint16_t> seen;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint16_t port = bed.tv.allocate_port();
+        EXPECT_NE(port, 49153);
+        EXPECT_TRUE(seen.insert(port).second || true);  // allocator may reuse later
+        bed.tv.register_tcp(port, [](const net::ParsedPacket&) {});
+    }
+}
+
+// --------------------------------------------------------------- smart plug
+
+class FakeTv : public PoweredDevice {
+  public:
+    void power_on() override { ++ons; }
+    void power_off() override { ++offs; }
+    int ons = 0;
+    int offs = 0;
+};
+
+TEST(SmartPlugTest, CycleFiresOnceEachWay) {
+    Simulator sim;
+    FakeTv tv;
+    SmartPlug plug(sim, tv);
+    plug.schedule_cycle(SimTime::seconds(1), SimTime::seconds(10));
+    EXPECT_FALSE(plug.is_on());
+    sim.run_until(SimTime::seconds(5));
+    EXPECT_TRUE(plug.is_on());
+    sim.run_all();
+    EXPECT_FALSE(plug.is_on());
+    EXPECT_EQ(tv.ons, 1);
+    EXPECT_EQ(tv.offs, 1);
+}
+
+TEST(SmartPlugTest, RedundantCommandsAreIdempotent) {
+    Simulator sim;
+    FakeTv tv;
+    SmartPlug plug(sim, tv);
+    plug.turn_on();
+    plug.turn_on();
+    plug.turn_off();
+    plug.turn_off();
+    EXPECT_EQ(tv.ons, 1);
+    EXPECT_EQ(tv.offs, 1);
+}
+
+}  // namespace
+}  // namespace tvacr::sim

@@ -1,0 +1,126 @@
+// Tests for the validation-script module and the paper-vs-measured
+// comparison scoring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/compare.hpp"
+#include "core/validation.hpp"
+
+namespace tvacr {
+namespace {
+
+// --------------------------------------------------------------- validation
+
+core::ExperimentSpec spec_for(tv::Scenario scenario, tv::Phase phase) {
+    core::ExperimentSpec spec;
+    spec.brand = tv::Brand::kSamsung;
+    spec.country = tv::Country::kUk;
+    spec.scenario = scenario;
+    spec.phase = phase;
+    spec.duration = SimTime::minutes(4);
+    spec.seed = 77;
+    return spec;
+}
+
+TEST(ValidationTest, HealthyOptedInExperimentPasses) {
+    const auto result =
+        core::ExperimentRunner::run(spec_for(tv::Scenario::kLinear, tv::Phase::kLInOIn));
+    const auto report = core::validate_experiment(result);
+    EXPECT_TRUE(report.all_passed()) << report.render();
+    EXPECT_GE(report.checks.size(), 7U);
+}
+
+TEST(ValidationTest, HealthyOptedOutExperimentPasses) {
+    const auto result =
+        core::ExperimentRunner::run(spec_for(tv::Scenario::kLinear, tv::Phase::kLOutOOut));
+    const auto report = core::validate_experiment(result);
+    EXPECT_TRUE(report.all_passed()) << report.render();
+    // The opt-out-specific checks are present.
+    bool found_zero_acr = false;
+    for (const auto& check : report.checks) {
+        if (check.name == "zero ACR traffic after opt-out") found_zero_acr = true;
+    }
+    EXPECT_TRUE(found_zero_acr);
+}
+
+TEST(ValidationTest, DetectsTamperedCapture) {
+    auto result =
+        core::ExperimentRunner::run(spec_for(tv::Scenario::kLinear, tv::Phase::kLInOIn));
+    ASSERT_GT(result.capture.size(), 10U);
+    // Corrupt one frame and scramble ordering.
+    result.capture[5].data[20] ^= 0xFF;
+    std::swap(result.capture[2].timestamp, result.capture[8].timestamp);
+    const auto report = core::validate_experiment(result);
+    EXPECT_FALSE(report.all_passed());
+    const std::string text = report.render();
+    EXPECT_NE(text.find("[FAIL]"), std::string::npos);
+}
+
+TEST(ValidationTest, DetectsEmptyCapture) {
+    auto result =
+        core::ExperimentRunner::run(spec_for(tv::Scenario::kIdle, tv::Phase::kLInOIn));
+    result.capture.clear();
+    const auto report = core::validate_experiment(result);
+    EXPECT_FALSE(report.all_passed());
+}
+
+// --------------------------------------------------------------- comparison
+
+TEST(ComparisonTest, RatioAndAbsenceClassification) {
+    analysis::ComparedCell close{"d", "s", 100.0, 90.0};
+    ASSERT_TRUE(close.ratio().has_value());
+    EXPECT_NEAR(*close.ratio(), 1.111, 0.001);
+    EXPECT_FALSE(close.both_absent());
+    EXPECT_FALSE(close.absence_mismatch());
+
+    analysis::ComparedCell absent{"d", "s", 0.0, std::nullopt};
+    EXPECT_TRUE(absent.both_absent());
+    EXPECT_FALSE(absent.ratio().has_value());
+
+    analysis::ComparedCell mismatch{"d", "s", 5.0, std::nullopt};
+    EXPECT_TRUE(mismatch.absence_mismatch());
+    analysis::ComparedCell mismatch2{"d", "s", 0.0, 5.0};
+    EXPECT_TRUE(mismatch2.absence_mismatch());
+}
+
+TEST(ComparisonTest, SummaryCountsAndWorstCell) {
+    analysis::Comparison comparison(2.0);
+    comparison.add({"a", "x", 100.0, 100.0});  // ratio 1.0
+    comparison.add({"a", "y", 100.0, 30.0});   // ratio 3.33 -> outside 2x
+    comparison.add({"b", "x", 0.0, std::nullopt});
+    comparison.add({"b", "y", 10.0, std::nullopt});  // absence mismatch
+
+    const auto summary = comparison.summarize();
+    EXPECT_EQ(summary.cells_total, 4);
+    EXPECT_EQ(summary.cells_compared, 2);
+    EXPECT_EQ(summary.within_factor, 1);
+    EXPECT_EQ(summary.absent_agreements, 1);
+    EXPECT_EQ(summary.absence_mismatches, 1);
+    EXPECT_NEAR(summary.worst_ratio, 10.0 / 3.0, 0.01);
+    EXPECT_EQ(summary.worst_cell, "a / y");
+    EXPECT_NEAR(summary.geometric_mean_ratio, std::sqrt(1.0 * (10.0 / 3.0)), 0.01);
+}
+
+TEST(ComparisonTest, MarkdownGridPreservesOrder) {
+    analysis::Comparison comparison;
+    comparison.add({"domain-b", "Idle", 1.0, 2.0});
+    comparison.add({"domain-b", "Antenna", 3.0, std::nullopt});
+    comparison.add({"domain-a", "Idle", 5.0, 5.0});
+    const std::string markdown = comparison.to_markdown("Domain");
+    // First-seen row order: domain-b before domain-a.
+    EXPECT_LT(markdown.find("domain-b"), markdown.find("domain-a"));
+    EXPECT_NE(markdown.find("| 3.0 / -"), std::string::npos);
+    EXPECT_NE(markdown.find("| Domain | Idle | Antenna |"), std::string::npos);
+}
+
+TEST(ComparisonTest, EmptyComparisonIsSane) {
+    const analysis::Comparison comparison;
+    const auto summary = comparison.summarize();
+    EXPECT_EQ(summary.cells_total, 0);
+    EXPECT_EQ(summary.cells_compared, 0);
+    EXPECT_DOUBLE_EQ(summary.geometric_mean_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace tvacr

@@ -1,0 +1,104 @@
+// tvacr_audit — the complete paper methodology as one command.
+//
+//   tvacr_audit [--brand samsung|lg] [--country uk|us]
+//               [--scenario idle|linear|fast|ott|hdmi|cast]
+//               [--minutes N] [--seed N] [--json out.json] [--mitm]
+//
+// Runs an opted-in capture and an opted-out control, identifies the ACR
+// endpoints from traffic alone, geolocates them, reports what the operator
+// learned, and (with --mitm) decomposes the payloads under the lab
+// interception proxy. --json writes the machine-readable report.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "core/audit.hpp"
+#include "core/export.hpp"
+#include "core/mitm_audit.hpp"
+
+using namespace tvacr;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--brand samsung|lg] [--country uk|us]\n"
+                 "          [--scenario idle|linear|fast|ott|hdmi|cast]\n"
+                 "          [--minutes N] [--seed N] [--json out.json] [--mitm]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    core::AuditConfig config;
+    config.duration = SimTime::minutes(30);
+    std::string json_path;
+    bool mitm = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key == "--mitm") {
+            mitm = true;
+            continue;
+        }
+        if (i + 1 >= argc) return usage(argv[0]);
+        const std::string value = argv[++i];
+        if (key == "--brand") {
+            if (value == "samsung") config.brand = tv::Brand::kSamsung;
+            else if (value == "lg") config.brand = tv::Brand::kLg;
+            else return usage(argv[0]);
+        } else if (key == "--country") {
+            if (value == "uk") config.country = tv::Country::kUk;
+            else if (value == "us") config.country = tv::Country::kUs;
+            else return usage(argv[0]);
+        } else if (key == "--scenario") {
+            if (value == "idle") config.scenario = tv::Scenario::kIdle;
+            else if (value == "linear") config.scenario = tv::Scenario::kLinear;
+            else if (value == "fast") config.scenario = tv::Scenario::kFast;
+            else if (value == "ott") config.scenario = tv::Scenario::kOtt;
+            else if (value == "hdmi") config.scenario = tv::Scenario::kHdmi;
+            else if (value == "cast") config.scenario = tv::Scenario::kScreenCast;
+            else return usage(argv[0]);
+        } else if (key == "--minutes") {
+            config.duration = SimTime::minutes(std::atol(value.c_str()));
+        } else if (key == "--seed") {
+            config.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+        } else if (key == "--json") {
+            json_path = value;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::printf("Auditing %s in %s, scenario %s, %lld min per phase...\n\n",
+                to_string(config.brand).c_str(), to_string(config.country).c_str(),
+                to_string(config.scenario).c_str(),
+                static_cast<long long>(config.duration.as_micros() / 60'000'000));
+    const auto report = core::AuditPipeline::run(config);
+    std::cout << report.render();
+
+    if (mitm) {
+        core::ExperimentSpec spec;
+        spec.brand = config.brand;
+        spec.country = config.country;
+        spec.scenario = config.scenario;
+        spec.duration = config.duration;
+        spec.seed = config.seed;
+        std::cout << "\n" << core::MitmAudit::run(spec).render();
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream file(json_path);
+        if (!file) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        file << core::audit_to_json(report) << "\n";
+        std::printf("\n(JSON report written to %s)\n", json_path.c_str());
+    }
+    return report.confirmed_acr_domains.empty() && config.scenario == tv::Scenario::kLinear ? 1
+                                                                                            : 0;
+}

@@ -1,0 +1,105 @@
+// tvacr_capture — run one testbed experiment and write the capture as pcap.
+//
+//   tvacr_capture [--brand samsung|lg] [--country uk|us]
+//                 [--scenario idle|linear|fast|ott|hdmi|cast]
+//                 [--phase lin-oin|lout-oin|lin-oout|lout-oout]
+//                 [--minutes N] [--seed N] [--out capture.pcap]
+//                 [--format pcap|pcapng]
+//
+// The produced file opens in Wireshark and feeds straight into
+// tvacr_analyze.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "net/pcap.hpp"
+#include "net/pcapng.hpp"
+
+using namespace tvacr;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--brand samsung|lg] [--country uk|us]\n"
+                 "          [--scenario idle|linear|fast|ott|hdmi|cast]\n"
+                 "          [--phase lin-oin|lout-oin|lin-oout|lout-oout]\n"
+                 "          [--minutes N] [--seed N] [--out capture.pcap]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    core::ExperimentSpec spec;
+    spec.duration = SimTime::minutes(10);
+    std::string out = "capture.pcap";
+    bool pcapng = false;
+
+    for (int i = 1; i + 1 < argc; i += 2) {
+        const std::string key = argv[i];
+        const std::string value = argv[i + 1];
+        if (key == "--brand") {
+            if (value == "samsung") {
+                spec.brand = tv::Brand::kSamsung;
+            } else if (value == "lg") {
+                spec.brand = tv::Brand::kLg;
+            } else {
+                return usage(argv[0]);
+            }
+        } else if (key == "--country") {
+            if (value == "uk") {
+                spec.country = tv::Country::kUk;
+            } else if (value == "us") {
+                spec.country = tv::Country::kUs;
+            } else {
+                return usage(argv[0]);
+            }
+        } else if (key == "--scenario") {
+            if (value == "idle") spec.scenario = tv::Scenario::kIdle;
+            else if (value == "linear") spec.scenario = tv::Scenario::kLinear;
+            else if (value == "fast") spec.scenario = tv::Scenario::kFast;
+            else if (value == "ott") spec.scenario = tv::Scenario::kOtt;
+            else if (value == "hdmi") spec.scenario = tv::Scenario::kHdmi;
+            else if (value == "cast") spec.scenario = tv::Scenario::kScreenCast;
+            else return usage(argv[0]);
+        } else if (key == "--phase") {
+            if (value == "lin-oin") spec.phase = tv::Phase::kLInOIn;
+            else if (value == "lout-oin") spec.phase = tv::Phase::kLOutOIn;
+            else if (value == "lin-oout") spec.phase = tv::Phase::kLInOOut;
+            else if (value == "lout-oout") spec.phase = tv::Phase::kLOutOOut;
+            else return usage(argv[0]);
+        } else if (key == "--minutes") {
+            spec.duration = SimTime::minutes(std::atol(value.c_str()));
+        } else if (key == "--seed") {
+            spec.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+        } else if (key == "--out") {
+            out = value;
+        } else if (key == "--format") {
+            if (value == "pcapng") pcapng = true;
+            else if (value != "pcap") return usage(argv[0]);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::printf("Running %s for %lld min (seed %llu)...\n", spec.name().c_str(),
+                static_cast<long long>(spec.duration.as_micros() / 60'000'000),
+                static_cast<unsigned long long>(spec.seed));
+    const auto result = core::ExperimentRunner::run(spec);
+    const auto status_of = [&]() {
+        return pcapng ? net::write_pcapng_file(out, result.capture)
+                      : net::write_pcap_file(out, result.capture);
+    };
+    if (const auto status = status_of(); !status.ok()) {
+        std::fprintf(stderr, "write failed: %s\n", status.error().message.c_str());
+        return 1;
+    }
+    std::printf("Wrote %zu packets to %s (device ip %s)\n", result.capture.size(), out.c_str(),
+                result.device_ip.to_string().c_str());
+    std::printf("Analyze with: tvacr_analyze %s %s\n", out.c_str(),
+                result.device_ip.to_string().c_str());
+    return 0;
+}
