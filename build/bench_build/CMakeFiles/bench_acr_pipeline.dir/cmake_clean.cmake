@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_acr_pipeline"
+  "../bench/bench_acr_pipeline.pdb"
+  "CMakeFiles/bench_acr_pipeline.dir/bench_acr_pipeline.cpp.o"
+  "CMakeFiles/bench_acr_pipeline.dir/bench_acr_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_blocklist"
+  "../bench/bench_blocklist.pdb"
+  "CMakeFiles/bench_blocklist.dir/bench_blocklist.cpp.o"
+  "CMakeFiles/bench_blocklist.dir/bench_blocklist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

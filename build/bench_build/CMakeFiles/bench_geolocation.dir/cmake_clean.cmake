@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_geolocation"
+  "../bench/bench_geolocation.pdb"
+  "CMakeFiles/bench_geolocation.dir/bench_geolocation.cpp.o"
+  "CMakeFiles/bench_geolocation.dir/bench_geolocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geolocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_optout"
+  "../bench/bench_optout.pdb"
+  "CMakeFiles/bench_optout.dir/bench_optout.cpp.o"
+  "CMakeFiles/bench_optout.dir/bench_optout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_periodicity"
+  "../bench/bench_periodicity.pdb"
+  "CMakeFiles/bench_periodicity.dir/bench_periodicity.cpp.o"
+  "CMakeFiles/bench_periodicity.dir/bench_periodicity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_periodicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

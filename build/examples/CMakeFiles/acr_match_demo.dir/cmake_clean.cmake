@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_match_demo.dir/acr_match_demo.cpp.o"
+  "CMakeFiles/acr_match_demo.dir/acr_match_demo.cpp.o.d"
+  "acr_match_demo"
+  "acr_match_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_match_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_personalization.dir/ad_personalization.cpp.o"
+  "CMakeFiles/ad_personalization.dir/ad_personalization.cpp.o.d"
+  "ad_personalization"
+  "ad_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/audit_campaign.cpp" "examples/CMakeFiles/audit_campaign.dir/audit_campaign.cpp.o" "gcc" "examples/CMakeFiles/audit_campaign.dir/audit_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tvacr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tvacr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tvacr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tv/CMakeFiles/tvacr_tv.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/tvacr_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tvacr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/tvacr_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tvacr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tvacr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

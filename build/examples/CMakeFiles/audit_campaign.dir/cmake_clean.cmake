@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_campaign.dir/audit_campaign.cpp.o"
+  "CMakeFiles/audit_campaign.dir/audit_campaign.cpp.o.d"
+  "audit_campaign"
+  "audit_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

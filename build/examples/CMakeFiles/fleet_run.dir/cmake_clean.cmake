@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_run.dir/fleet_run.cpp.o"
+  "CMakeFiles/fleet_run.dir/fleet_run.cpp.o.d"
+  "fleet_run"
+  "fleet_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

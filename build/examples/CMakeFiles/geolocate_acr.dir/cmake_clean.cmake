@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolocate_acr.dir/geolocate_acr.cpp.o"
+  "CMakeFiles/geolocate_acr.dir/geolocate_acr.cpp.o.d"
+  "geolocate_acr"
+  "geolocate_acr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolocate_acr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitm_inspect.dir/mitm_inspect.cpp.o"
+  "CMakeFiles/mitm_inspect.dir/mitm_inspect.cpp.o.d"
+  "mitm_inspect"
+  "mitm_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitm_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optout_audit.dir/optout_audit.cpp.o"
+  "CMakeFiles/optout_audit.dir/optout_audit.cpp.o.d"
+  "optout_audit"
+  "optout_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optout_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

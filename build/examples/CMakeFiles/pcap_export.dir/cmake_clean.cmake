@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_export.dir/pcap_export.cpp.o"
+  "CMakeFiles/pcap_export.dir/pcap_export.cpp.o.d"
+  "pcap_export"
+  "pcap_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surf_session.dir/surf_session.cpp.o"
+  "CMakeFiles/surf_session.dir/surf_session.cpp.o.d"
+  "surf_session"
+  "surf_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surf_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/acr_detect.cpp" "src/analysis/CMakeFiles/tvacr_analysis.dir/acr_detect.cpp.o" "gcc" "src/analysis/CMakeFiles/tvacr_analysis.dir/acr_detect.cpp.o.d"
+  "/root/repo/src/analysis/cdf.cpp" "src/analysis/CMakeFiles/tvacr_analysis.dir/cdf.cpp.o" "gcc" "src/analysis/CMakeFiles/tvacr_analysis.dir/cdf.cpp.o.d"
+  "/root/repo/src/analysis/compare.cpp" "src/analysis/CMakeFiles/tvacr_analysis.dir/compare.cpp.o" "gcc" "src/analysis/CMakeFiles/tvacr_analysis.dir/compare.cpp.o.d"
+  "/root/repo/src/analysis/dns_map.cpp" "src/analysis/CMakeFiles/tvacr_analysis.dir/dns_map.cpp.o" "gcc" "src/analysis/CMakeFiles/tvacr_analysis.dir/dns_map.cpp.o.d"
+  "/root/repo/src/analysis/json.cpp" "src/analysis/CMakeFiles/tvacr_analysis.dir/json.cpp.o" "gcc" "src/analysis/CMakeFiles/tvacr_analysis.dir/json.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/tvacr_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/tvacr_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/analysis/CMakeFiles/tvacr_analysis.dir/timeseries.cpp.o" "gcc" "src/analysis/CMakeFiles/tvacr_analysis.dir/timeseries.cpp.o.d"
+  "/root/repo/src/analysis/traffic.cpp" "src/analysis/CMakeFiles/tvacr_analysis.dir/traffic.cpp.o" "gcc" "src/analysis/CMakeFiles/tvacr_analysis.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/tvacr_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tvacr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tvacr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_analysis.dir/acr_detect.cpp.o"
+  "CMakeFiles/tvacr_analysis.dir/acr_detect.cpp.o.d"
+  "CMakeFiles/tvacr_analysis.dir/cdf.cpp.o"
+  "CMakeFiles/tvacr_analysis.dir/cdf.cpp.o.d"
+  "CMakeFiles/tvacr_analysis.dir/compare.cpp.o"
+  "CMakeFiles/tvacr_analysis.dir/compare.cpp.o.d"
+  "CMakeFiles/tvacr_analysis.dir/dns_map.cpp.o"
+  "CMakeFiles/tvacr_analysis.dir/dns_map.cpp.o.d"
+  "CMakeFiles/tvacr_analysis.dir/json.cpp.o"
+  "CMakeFiles/tvacr_analysis.dir/json.cpp.o.d"
+  "CMakeFiles/tvacr_analysis.dir/report.cpp.o"
+  "CMakeFiles/tvacr_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/tvacr_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/tvacr_analysis.dir/timeseries.cpp.o.d"
+  "CMakeFiles/tvacr_analysis.dir/traffic.cpp.o"
+  "CMakeFiles/tvacr_analysis.dir/traffic.cpp.o.d"
+  "libtvacr_analysis.a"
+  "libtvacr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtvacr_analysis.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_common.dir/bytes.cpp.o"
+  "CMakeFiles/tvacr_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/tvacr_common.dir/rng.cpp.o"
+  "CMakeFiles/tvacr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tvacr_common.dir/stats.cpp.o"
+  "CMakeFiles/tvacr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tvacr_common.dir/strings.cpp.o"
+  "CMakeFiles/tvacr_common.dir/strings.cpp.o.d"
+  "CMakeFiles/tvacr_common.dir/time.cpp.o"
+  "CMakeFiles/tvacr_common.dir/time.cpp.o.d"
+  "libtvacr_common.a"
+  "libtvacr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

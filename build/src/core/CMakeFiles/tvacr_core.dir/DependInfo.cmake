@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/tvacr_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/tvacr_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/tvacr_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/tvacr_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/tvacr_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/tvacr_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/tvacr_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/tvacr_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "src/core/CMakeFiles/tvacr_core.dir/fleet.cpp.o" "gcc" "src/core/CMakeFiles/tvacr_core.dir/fleet.cpp.o.d"
+  "/root/repo/src/core/mitm_audit.cpp" "src/core/CMakeFiles/tvacr_core.dir/mitm_audit.cpp.o" "gcc" "src/core/CMakeFiles/tvacr_core.dir/mitm_audit.cpp.o.d"
+  "/root/repo/src/core/paper.cpp" "src/core/CMakeFiles/tvacr_core.dir/paper.cpp.o" "gcc" "src/core/CMakeFiles/tvacr_core.dir/paper.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/tvacr_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/tvacr_core.dir/testbed.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/tvacr_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/tvacr_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tvacr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tvacr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tv/CMakeFiles/tvacr_tv.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/tvacr_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tvacr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/tvacr_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tvacr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tvacr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

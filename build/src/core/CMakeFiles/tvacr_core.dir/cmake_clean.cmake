@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_core.dir/audit.cpp.o"
+  "CMakeFiles/tvacr_core.dir/audit.cpp.o.d"
+  "CMakeFiles/tvacr_core.dir/campaign.cpp.o"
+  "CMakeFiles/tvacr_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/tvacr_core.dir/experiment.cpp.o"
+  "CMakeFiles/tvacr_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/tvacr_core.dir/export.cpp.o"
+  "CMakeFiles/tvacr_core.dir/export.cpp.o.d"
+  "CMakeFiles/tvacr_core.dir/fleet.cpp.o"
+  "CMakeFiles/tvacr_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/tvacr_core.dir/mitm_audit.cpp.o"
+  "CMakeFiles/tvacr_core.dir/mitm_audit.cpp.o.d"
+  "CMakeFiles/tvacr_core.dir/paper.cpp.o"
+  "CMakeFiles/tvacr_core.dir/paper.cpp.o.d"
+  "CMakeFiles/tvacr_core.dir/testbed.cpp.o"
+  "CMakeFiles/tvacr_core.dir/testbed.cpp.o.d"
+  "CMakeFiles/tvacr_core.dir/validation.cpp.o"
+  "CMakeFiles/tvacr_core.dir/validation.cpp.o.d"
+  "libtvacr_core.a"
+  "libtvacr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

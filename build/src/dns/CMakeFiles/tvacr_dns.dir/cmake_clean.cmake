@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_dns.dir/message.cpp.o"
+  "CMakeFiles/tvacr_dns.dir/message.cpp.o.d"
+  "CMakeFiles/tvacr_dns.dir/name.cpp.o"
+  "CMakeFiles/tvacr_dns.dir/name.cpp.o.d"
+  "CMakeFiles/tvacr_dns.dir/zone.cpp.o"
+  "CMakeFiles/tvacr_dns.dir/zone.cpp.o.d"
+  "libtvacr_dns.a"
+  "libtvacr_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fp/audio.cpp" "src/fp/CMakeFiles/tvacr_fp.dir/audio.cpp.o" "gcc" "src/fp/CMakeFiles/tvacr_fp.dir/audio.cpp.o.d"
+  "/root/repo/src/fp/batch.cpp" "src/fp/CMakeFiles/tvacr_fp.dir/batch.cpp.o" "gcc" "src/fp/CMakeFiles/tvacr_fp.dir/batch.cpp.o.d"
+  "/root/repo/src/fp/content.cpp" "src/fp/CMakeFiles/tvacr_fp.dir/content.cpp.o" "gcc" "src/fp/CMakeFiles/tvacr_fp.dir/content.cpp.o.d"
+  "/root/repo/src/fp/library.cpp" "src/fp/CMakeFiles/tvacr_fp.dir/library.cpp.o" "gcc" "src/fp/CMakeFiles/tvacr_fp.dir/library.cpp.o.d"
+  "/root/repo/src/fp/matcher.cpp" "src/fp/CMakeFiles/tvacr_fp.dir/matcher.cpp.o" "gcc" "src/fp/CMakeFiles/tvacr_fp.dir/matcher.cpp.o.d"
+  "/root/repo/src/fp/segments.cpp" "src/fp/CMakeFiles/tvacr_fp.dir/segments.cpp.o" "gcc" "src/fp/CMakeFiles/tvacr_fp.dir/segments.cpp.o.d"
+  "/root/repo/src/fp/video_fp.cpp" "src/fp/CMakeFiles/tvacr_fp.dir/video_fp.cpp.o" "gcc" "src/fp/CMakeFiles/tvacr_fp.dir/video_fp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tvacr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_fp.dir/audio.cpp.o"
+  "CMakeFiles/tvacr_fp.dir/audio.cpp.o.d"
+  "CMakeFiles/tvacr_fp.dir/batch.cpp.o"
+  "CMakeFiles/tvacr_fp.dir/batch.cpp.o.d"
+  "CMakeFiles/tvacr_fp.dir/content.cpp.o"
+  "CMakeFiles/tvacr_fp.dir/content.cpp.o.d"
+  "CMakeFiles/tvacr_fp.dir/library.cpp.o"
+  "CMakeFiles/tvacr_fp.dir/library.cpp.o.d"
+  "CMakeFiles/tvacr_fp.dir/matcher.cpp.o"
+  "CMakeFiles/tvacr_fp.dir/matcher.cpp.o.d"
+  "CMakeFiles/tvacr_fp.dir/segments.cpp.o"
+  "CMakeFiles/tvacr_fp.dir/segments.cpp.o.d"
+  "CMakeFiles/tvacr_fp.dir/video_fp.cpp.o"
+  "CMakeFiles/tvacr_fp.dir/video_fp.cpp.o.d"
+  "libtvacr_fp.a"
+  "libtvacr_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

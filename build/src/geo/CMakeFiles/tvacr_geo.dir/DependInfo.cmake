@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geolocator.cpp" "src/geo/CMakeFiles/tvacr_geo.dir/geolocator.cpp.o" "gcc" "src/geo/CMakeFiles/tvacr_geo.dir/geolocator.cpp.o.d"
+  "/root/repo/src/geo/ground_truth.cpp" "src/geo/CMakeFiles/tvacr_geo.dir/ground_truth.cpp.o" "gcc" "src/geo/CMakeFiles/tvacr_geo.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/geo/ipdb.cpp" "src/geo/CMakeFiles/tvacr_geo.dir/ipdb.cpp.o" "gcc" "src/geo/CMakeFiles/tvacr_geo.dir/ipdb.cpp.o.d"
+  "/root/repo/src/geo/location.cpp" "src/geo/CMakeFiles/tvacr_geo.dir/location.cpp.o" "gcc" "src/geo/CMakeFiles/tvacr_geo.dir/location.cpp.o.d"
+  "/root/repo/src/geo/ripe_ipmap.cpp" "src/geo/CMakeFiles/tvacr_geo.dir/ripe_ipmap.cpp.o" "gcc" "src/geo/CMakeFiles/tvacr_geo.dir/ripe_ipmap.cpp.o.d"
+  "/root/repo/src/geo/traceroute.cpp" "src/geo/CMakeFiles/tvacr_geo.dir/traceroute.cpp.o" "gcc" "src/geo/CMakeFiles/tvacr_geo.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tvacr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tvacr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_geo.dir/geolocator.cpp.o"
+  "CMakeFiles/tvacr_geo.dir/geolocator.cpp.o.d"
+  "CMakeFiles/tvacr_geo.dir/ground_truth.cpp.o"
+  "CMakeFiles/tvacr_geo.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/tvacr_geo.dir/ipdb.cpp.o"
+  "CMakeFiles/tvacr_geo.dir/ipdb.cpp.o.d"
+  "CMakeFiles/tvacr_geo.dir/location.cpp.o"
+  "CMakeFiles/tvacr_geo.dir/location.cpp.o.d"
+  "CMakeFiles/tvacr_geo.dir/ripe_ipmap.cpp.o"
+  "CMakeFiles/tvacr_geo.dir/ripe_ipmap.cpp.o.d"
+  "CMakeFiles/tvacr_geo.dir/traceroute.cpp.o"
+  "CMakeFiles/tvacr_geo.dir/traceroute.cpp.o.d"
+  "libtvacr_geo.a"
+  "libtvacr_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

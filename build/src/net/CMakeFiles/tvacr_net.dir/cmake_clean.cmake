@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_net.dir/address.cpp.o"
+  "CMakeFiles/tvacr_net.dir/address.cpp.o.d"
+  "CMakeFiles/tvacr_net.dir/checksum.cpp.o"
+  "CMakeFiles/tvacr_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/tvacr_net.dir/flow.cpp.o"
+  "CMakeFiles/tvacr_net.dir/flow.cpp.o.d"
+  "CMakeFiles/tvacr_net.dir/headers.cpp.o"
+  "CMakeFiles/tvacr_net.dir/headers.cpp.o.d"
+  "CMakeFiles/tvacr_net.dir/packet.cpp.o"
+  "CMakeFiles/tvacr_net.dir/packet.cpp.o.d"
+  "CMakeFiles/tvacr_net.dir/pcap.cpp.o"
+  "CMakeFiles/tvacr_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/tvacr_net.dir/pcapng.cpp.o"
+  "CMakeFiles/tvacr_net.dir/pcapng.cpp.o.d"
+  "libtvacr_net.a"
+  "libtvacr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

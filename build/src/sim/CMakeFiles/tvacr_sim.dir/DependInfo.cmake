@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/access_point.cpp" "src/sim/CMakeFiles/tvacr_sim.dir/access_point.cpp.o" "gcc" "src/sim/CMakeFiles/tvacr_sim.dir/access_point.cpp.o.d"
+  "/root/repo/src/sim/cloud.cpp" "src/sim/CMakeFiles/tvacr_sim.dir/cloud.cpp.o" "gcc" "src/sim/CMakeFiles/tvacr_sim.dir/cloud.cpp.o.d"
+  "/root/repo/src/sim/dns_client.cpp" "src/sim/CMakeFiles/tvacr_sim.dir/dns_client.cpp.o" "gcc" "src/sim/CMakeFiles/tvacr_sim.dir/dns_client.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/tvacr_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/tvacr_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/station.cpp" "src/sim/CMakeFiles/tvacr_sim.dir/station.cpp.o" "gcc" "src/sim/CMakeFiles/tvacr_sim.dir/station.cpp.o.d"
+  "/root/repo/src/sim/tcp.cpp" "src/sim/CMakeFiles/tvacr_sim.dir/tcp.cpp.o" "gcc" "src/sim/CMakeFiles/tvacr_sim.dir/tcp.cpp.o.d"
+  "/root/repo/src/sim/tls.cpp" "src/sim/CMakeFiles/tvacr_sim.dir/tls.cpp.o" "gcc" "src/sim/CMakeFiles/tvacr_sim.dir/tls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/tvacr_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tvacr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tvacr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

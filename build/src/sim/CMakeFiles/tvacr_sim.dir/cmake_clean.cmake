@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_sim.dir/access_point.cpp.o"
+  "CMakeFiles/tvacr_sim.dir/access_point.cpp.o.d"
+  "CMakeFiles/tvacr_sim.dir/cloud.cpp.o"
+  "CMakeFiles/tvacr_sim.dir/cloud.cpp.o.d"
+  "CMakeFiles/tvacr_sim.dir/dns_client.cpp.o"
+  "CMakeFiles/tvacr_sim.dir/dns_client.cpp.o.d"
+  "CMakeFiles/tvacr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tvacr_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tvacr_sim.dir/station.cpp.o"
+  "CMakeFiles/tvacr_sim.dir/station.cpp.o.d"
+  "CMakeFiles/tvacr_sim.dir/tcp.cpp.o"
+  "CMakeFiles/tvacr_sim.dir/tcp.cpp.o.d"
+  "CMakeFiles/tvacr_sim.dir/tls.cpp.o"
+  "CMakeFiles/tvacr_sim.dir/tls.cpp.o.d"
+  "libtvacr_sim.a"
+  "libtvacr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tv/acr_backend.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/acr_backend.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/acr_backend.cpp.o.d"
+  "/root/repo/src/tv/acr_client.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/acr_client.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/acr_client.cpp.o.d"
+  "/root/repo/src/tv/ads.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/ads.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/ads.cpp.o.d"
+  "/root/repo/src/tv/background.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/background.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/background.cpp.o.d"
+  "/root/repo/src/tv/calibration.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/calibration.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/calibration.cpp.o.d"
+  "/root/repo/src/tv/channel.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/channel.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/channel.cpp.o.d"
+  "/root/repo/src/tv/platform.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/platform.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/platform.cpp.o.d"
+  "/root/repo/src/tv/privacy.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/privacy.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/privacy.cpp.o.d"
+  "/root/repo/src/tv/scenario.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/scenario.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/scenario.cpp.o.d"
+  "/root/repo/src/tv/smart_tv.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/smart_tv.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/smart_tv.cpp.o.d"
+  "/root/repo/src/tv/voice.cpp" "src/tv/CMakeFiles/tvacr_tv.dir/voice.cpp.o" "gcc" "src/tv/CMakeFiles/tvacr_tv.dir/voice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fp/CMakeFiles/tvacr_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tvacr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/tvacr_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tvacr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tvacr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_tv.dir/acr_backend.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/acr_backend.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/acr_client.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/acr_client.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/ads.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/ads.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/background.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/background.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/calibration.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/calibration.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/channel.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/channel.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/platform.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/platform.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/privacy.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/privacy.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/scenario.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/scenario.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/smart_tv.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/smart_tv.cpp.o.d"
+  "CMakeFiles/tvacr_tv.dir/voice.cpp.o"
+  "CMakeFiles/tvacr_tv.dir/voice.cpp.o.d"
+  "libtvacr_tv.a"
+  "libtvacr_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

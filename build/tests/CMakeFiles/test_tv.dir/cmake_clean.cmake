@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tv.dir/test_tv.cpp.o"
+  "CMakeFiles/test_tv.dir/test_tv.cpp.o.d"
+  "test_tv"
+  "test_tv.pdb"
+  "test_tv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_fp[1]_include.cmake")
+include("/root/repo/build/tests/test_tv[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_audio[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_fleet[1]_include.cmake")
+include("/root/repo/build/tests/test_regression[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_analyze.dir/tvacr_analyze.cpp.o"
+  "CMakeFiles/tvacr_analyze.dir/tvacr_analyze.cpp.o.d"
+  "tvacr_analyze"
+  "tvacr_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_audit.dir/tvacr_audit.cpp.o"
+  "CMakeFiles/tvacr_audit.dir/tvacr_audit.cpp.o.d"
+  "tvacr_audit"
+  "tvacr_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvacr_capture.dir/tvacr_capture.cpp.o"
+  "CMakeFiles/tvacr_capture.dir/tvacr_capture.cpp.o.d"
+  "tvacr_capture"
+  "tvacr_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvacr_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tvacr_capture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_capture "/root/repo/build/tools/tvacr_capture" "--brand" "samsung" "--country" "uk" "--scenario" "linear" "--minutes" "3" "--seed" "5" "--out" "/root/repo/build/tools/smoke.pcap")
+set_tests_properties(tools_capture PROPERTIES  FIXTURES_SETUP "smoke_pcap" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_analyze "/root/repo/build/tools/tvacr_analyze" "/root/repo/build/tools/smoke.pcap" "192.168.4.23" "--minutes" "3")
+set_tests_properties(tools_analyze PROPERTIES  FIXTURES_REQUIRED "smoke_pcap" PASS_REGULAR_EXPRESSION "acr-eu-prd.samsungcloud.tv.*ACR" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_analyze_bad_input "/root/repo/build/tools/tvacr_analyze" "/nonexistent.pcap" "192.168.4.23")
+set_tests_properties(tools_analyze_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_capture_pcapng "/root/repo/build/tools/tvacr_capture" "--brand" "lg" "--country" "us" "--scenario" "fast" "--minutes" "2" "--format" "pcapng" "--out" "/root/repo/build/tools/smoke.pcapng")
+set_tests_properties(tools_capture_pcapng PROPERTIES  FIXTURES_SETUP "smoke_pcapng" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_analyze_pcapng "/root/repo/build/tools/tvacr_analyze" "/root/repo/build/tools/smoke.pcapng" "192.168.4.23" "--minutes" "2")
+set_tests_properties(tools_analyze_pcapng PROPERTIES  FIXTURES_REQUIRED "smoke_pcapng" PASS_REGULAR_EXPRESSION "tkacr[0-9]+\\.alphonso\\.tv.*ACR" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_audit "/root/repo/build/tools/tvacr_audit" "--brand" "lg" "--country" "uk" "--scenario" "linear" "--minutes" "4" "--json" "/root/repo/build/tools/audit.json")
+set_tests_properties(tools_audit PROPERTIES  PASS_REGULAR_EXPRESSION "alphonso.*ACR" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
