@@ -1,7 +1,8 @@
-// Reproduces Figure 4: 10 minutes of ACR traffic per scenario, UK LIn-OIn.
+// Reproduces the paper's Figure 4.   Usage: bench_fig4 [--jobs N]
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace tvacr;
-    return bench::run_traffic_figure_bench("Figure 4", tv::Country::kUk);
+    return bench::run_traffic_figure_bench("Figure 4", tv::Country::kUk,
+                                           bench::parse_jobs(argc, argv));
 }

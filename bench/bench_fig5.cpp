@@ -1,7 +1,8 @@
-// Reproduces Figure 5: CDFs of bytes to ACR domains, UK opted-in phases.
+// Reproduces the paper's Figure 5.   Usage: bench_fig5 [--jobs N]
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace tvacr;
-    return bench::run_cdf_figure_bench("Figure 5", tv::Country::kUk);
+    return bench::run_cdf_figure_bench("Figure 5", tv::Country::kUk,
+                                       bench::parse_jobs(argc, argv));
 }

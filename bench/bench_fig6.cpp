@@ -1,7 +1,8 @@
-// Reproduces Figure 6: 10 minutes of ACR traffic per scenario, US LIn-OIn.
+// Reproduces the paper's Figure 6.   Usage: bench_fig6 [--jobs N]
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace tvacr;
-    return bench::run_traffic_figure_bench("Figure 6", tv::Country::kUs);
+    return bench::run_traffic_figure_bench("Figure 6", tv::Country::kUs,
+                                           bench::parse_jobs(argc, argv));
 }

@@ -1,7 +1,8 @@
-// Reproduces Figure 7: CDFs of bytes to ACR domains, US opted-in phases.
+// Reproduces the paper's Figure 7.   Usage: bench_fig7 [--jobs N]
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace tvacr;
-    return bench::run_cdf_figure_bench("Figure 7", tv::Country::kUs);
+    return bench::run_cdf_figure_bench("Figure 7", tv::Country::kUs,
+                                       bench::parse_jobs(argc, argv));
 }

@@ -1,10 +1,11 @@
 // Reproduces Figures 8-11: per-scenario ACR traffic detail for every
-// (country, opted-in phase) combination.
+// (country, opted-in phase) combination.   Usage: bench_fig8_11 [--jobs N]
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace tvacr;
     const SimTime duration = bench::bench_duration();
+    const int jobs = bench::parse_jobs(argc, argv);
     struct Figure {
         const char* name;
         tv::Country country;
@@ -18,7 +19,7 @@ int main() {
     };
     for (const auto& figure : figures) {
         const auto traces =
-            core::CampaignRunner::run_sweep(figure.country, figure.phase, duration, 2024);
+            core::CampaignRunner::run_sweep(figure.country, figure.phase, duration, 2024, jobs);
         bench::print_traffic_figure((std::string(figure.name) + " (LG)").c_str(), tv::Brand::kLg,
                                     figure.country, figure.phase, traces);
         bench::print_traffic_figure((std::string(figure.name) + " (Samsung)").c_str(),

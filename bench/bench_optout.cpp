@@ -11,15 +11,17 @@
 
 using namespace tvacr;
 
-int main() {
+int main(int argc, char** argv) {
     const SimTime duration = bench::bench_duration();
+    const int jobs = bench::parse_jobs(argc, argv);
     std::cout << "Opt-out validation (paper §4.2): ACR KB per scenario after opting out of\n"
               << "all advertising/tracking options (Table 1). Expected: zero everywhere.\n\n";
 
     int violations = 0;
     for (const tv::Country country : {tv::Country::kUk, tv::Country::kUs}) {
         for (const tv::Phase phase : {tv::Phase::kLInOOut, tv::Phase::kLOutOOut}) {
-            const auto traces = core::CampaignRunner::run_sweep(country, phase, duration, 2024);
+            const auto traces =
+                core::CampaignRunner::run_sweep(country, phase, duration, 2024, jobs);
             std::printf("%s %s:\n", to_string(country).c_str(), to_string(phase).c_str());
             for (const auto& trace : traces) {
                 // Also check that no *new* ACR-named domain appeared.

@@ -1,7 +1,8 @@
-// Reproduces the paper's Table 2.
+// Reproduces the paper's Table 2.   Usage: bench_table2 [--jobs N]
 #include "table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace tvacr;
-    return bench::run_table_bench(tv::Country::kUk, tv::Phase::kLInOIn, "Table 2");
+    return bench::run_table_bench(tv::Country::kUk, tv::Phase::kLInOIn, "Table 2",
+                                  bench::parse_jobs(argc, argv));
 }

@@ -1,7 +1,8 @@
-// Reproduces the paper's Table 3.
+// Reproduces the paper's Table 3.   Usage: bench_table3 [--jobs N]
 #include "table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace tvacr;
-    return bench::run_table_bench(tv::Country::kUk, tv::Phase::kLOutOIn, "Table 3");
+    return bench::run_table_bench(tv::Country::kUk, tv::Phase::kLOutOIn, "Table 3",
+                                  bench::parse_jobs(argc, argv));
 }

@@ -1,7 +1,8 @@
-// Reproduces the paper's Table 4.
+// Reproduces the paper's Table 4.   Usage: bench_table4 [--jobs N]
 #include "table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace tvacr;
-    return bench::run_table_bench(tv::Country::kUs, tv::Phase::kLInOIn, "Table 4");
+    return bench::run_table_bench(tv::Country::kUs, tv::Phase::kLInOIn, "Table 4",
+                                  bench::parse_jobs(argc, argv));
 }

@@ -1,7 +1,8 @@
-// Reproduces the paper's Table 5.
+// Reproduces the paper's Table 5.   Usage: bench_table5 [--jobs N]
 #include "table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace tvacr;
-    return bench::run_table_bench(tv::Country::kUs, tv::Phase::kLOutOIn, "Table 5");
+    return bench::run_table_bench(tv::Country::kUs, tv::Phase::kLOutOIn, "Table 5",
+                                  bench::parse_jobs(argc, argv));
 }

@@ -44,10 +44,12 @@ inline void print_traffic_figure(const char* figure_name, tv::Brand brand, tv::C
 }
 
 /// Figure 4/6-style bench: run the sweep once, print LG and Samsung panels.
-inline int run_traffic_figure_bench(const char* figure_name, tv::Country country) {
+inline int run_traffic_figure_bench(const char* figure_name, tv::Country country,
+                                    int jobs = core::default_jobs()) {
     const SimTime duration = bench_duration();
     const auto traces =
-        core::CampaignRunner::run_sweep(country, tv::Phase::kLInOIn, duration, /*seed=*/2024);
+        core::CampaignRunner::run_sweep(country, tv::Phase::kLInOIn, duration, /*seed=*/2024,
+                                        jobs);
     print_traffic_figure((std::string(figure_name) + "a").c_str(), tv::Brand::kLg, country,
                          tv::Phase::kLInOIn, traces);
     print_traffic_figure((std::string(figure_name) + "b").c_str(), tv::Brand::kSamsung, country,
@@ -78,12 +80,22 @@ inline int run_traffic_figure_bench(const char* figure_name, tv::Country country
 /// two opted-in phases, per brand+scenario; prints the KS-style gap between
 /// logged-in and logged-out curves (the paper: login status has no material
 /// impact).
-inline int run_cdf_figure_bench(const char* figure_name, tv::Country country) {
-    const SimTime duration = bench_duration();
-    const auto in_traces =
-        core::CampaignRunner::run_sweep(country, tv::Phase::kLInOIn, duration, /*seed=*/2024);
-    const auto out_traces =
-        core::CampaignRunner::run_sweep(country, tv::Phase::kLOutOIn, duration, /*seed=*/2024);
+inline int run_cdf_figure_bench(const char* figure_name, tv::Country country,
+                                int jobs = core::default_jobs()) {
+    // Both opted-in phases in one 2x6x2 matrix, split back afterwards — the
+    // engine keeps all 24 experiments in flight together.
+    core::MatrixSpec matrix;
+    matrix.countries = {country};
+    matrix.phases = {tv::Phase::kLInOIn, tv::Phase::kLOutOIn};
+    matrix.duration = bench_duration();
+    matrix.seed = 2024;
+    const SimTime duration = matrix.duration;
+    const auto all_traces = core::MatrixRunner(jobs).run(matrix);
+    std::vector<core::ScenarioTrace> in_traces;
+    std::vector<core::ScenarioTrace> out_traces;
+    for (const auto& trace : all_traces) {
+        (trace.spec.phase == tv::Phase::kLInOIn ? in_traces : out_traces).push_back(trace);
+    }
 
     std::cout << figure_name << " — cumulative bytes to ACR domains over time, " << to_string(country)
               << " (normalized; gap = max |LIn-OIn - LOut-OIn|)\n\n";

@@ -16,10 +16,24 @@
 #include "common/strings.hpp"
 #include "core/campaign.hpp"
 #include "core/export.hpp"
+#include "core/matrix_runner.hpp"
 #include "core/paper.hpp"
 #include "core/validation.hpp"
 
 namespace tvacr::bench {
+
+/// Parallel-jobs knob for the bench binaries: `--jobs N` on the command
+/// line wins, else TVACR_JOBS / hardware concurrency (core::default_jobs).
+/// Results are identical for any value; only wall-clock changes.
+[[nodiscard]] inline int parse_jobs(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--jobs") {
+            const int jobs = std::atoi(argv[i + 1]);
+            if (jobs >= 1) return jobs;
+        }
+    }
+    return core::default_jobs();
+}
 
 /// Duration used for the table reproductions. The paper runs 1 h; that is
 /// also our default (override with TVACR_BENCH_MINUTES for quick looks).
@@ -50,13 +64,16 @@ inline void write_artifact(const std::string& name, const std::string& content) 
     return kb * (3600.0 / duration.as_seconds());
 }
 
-inline int run_table_bench(tv::Country country, tv::Phase phase, const char* table_name) {
+inline int run_table_bench(tv::Country country, tv::Phase phase, const char* table_name,
+                           int jobs = core::default_jobs()) {
     const SimTime duration = bench_duration();
     std::cout << "Reproducing " << table_name << ": KB to/from ACR domains, "
               << to_string(phase) << " in " << to_string(country) << " ("
-              << duration.as_seconds() / 60 << " min per experiment, scaled to 1 h)\n\n";
+              << duration.as_seconds() / 60 << " min per experiment, scaled to 1 h, " << jobs
+              << " job(s))\n\n";
 
-    const auto traces = core::CampaignRunner::run_sweep(country, phase, duration, /*seed=*/2024);
+    const auto traces =
+        core::CampaignRunner::run_sweep(country, phase, duration, /*seed=*/2024, jobs);
 
     analysis::Table table;
     table.header = {"Domain Name"};
@@ -97,9 +114,9 @@ inline int run_table_bench(tv::Country country, tv::Phase phase, const char* tab
     }
 
     // Validation-script pass over every experiment in the sweep. Traces do
-    // not retain captures, so validation runs on a fresh spot-check
-    // experiment per brand (cheap relative to the sweep).
-    int validation_failures = 0;
+    // not retain captures, so validation runs on fresh spot-check
+    // experiments, one per brand, through the same parallel engine.
+    std::vector<core::ExperimentSpec> spot_specs;
     for (const tv::Brand brand : {tv::Brand::kLg, tv::Brand::kSamsung}) {
         core::ExperimentSpec spec;
         spec.brand = brand;
@@ -108,10 +125,14 @@ inline int run_table_bench(tv::Country country, tv::Phase phase, const char* tab
         spec.phase = phase;
         spec.duration = std::min(duration, SimTime::minutes(10));
         spec.seed = 2024;
-        const auto validation = core::validate_experiment(core::ExperimentRunner::run(spec));
+        spot_specs.push_back(spec);
+    }
+    int validation_failures = 0;
+    for (const auto& result : core::MatrixRunner(jobs).run_experiments(spot_specs)) {
+        const auto validation = core::validate_experiment(result);
         if (!validation.all_passed()) {
             ++validation_failures;
-            std::cout << "\nValidation failures (" << to_string(brand) << "):\n"
+            std::cout << "\nValidation failures (" << to_string(result.spec.brand) << "):\n"
                       << validation.render();
         }
     }

@@ -1,16 +1,20 @@
 // Full audit campaign: the paper's complete measurement grid for one
 // country — both TVs, all six scenarios, all four phases — producing the
 // paper-style domain-by-scenario tables and exporting CSV series for
-// external plotting.
+// external plotting. The whole 2x6x4 grid is expanded into one experiment
+// matrix and executed on the parallel engine; results are deterministic for
+// any worker count.
 //
-//   audit_campaign [uk|us] [minutes-per-experiment]   (defaults: uk 20)
+//   audit_campaign [uk|us] [minutes-per-experiment] [jobs]
+//   (defaults: uk 20 $TVACR_JOBS-or-hardware)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "analysis/report.hpp"
-#include "core/campaign.hpp"
+#include "core/matrix_runner.hpp"
 
 using namespace tvacr;
 
@@ -19,18 +23,30 @@ int main(int argc, char** argv) {
         (argc > 1 && std::strcmp(argv[1], "us") == 0) ? tv::Country::kUs : tv::Country::kUk;
     const int minutes = argc > 2 ? std::atoi(argv[2]) : 20;
     const SimTime duration = SimTime::minutes(minutes > 0 ? minutes : 20);
+    const int jobs = argc > 3 ? std::max(1, std::atoi(argv[3])) : core::default_jobs();
 
     std::cout << "Audit campaign: " << to_string(country) << ", " << duration.as_seconds() / 60
-              << " simulated minutes per experiment, 2 TVs x 6 scenarios x 4 phases\n\n";
+              << " simulated minutes per experiment, 2 TVs x 6 scenarios x 4 phases, " << jobs
+              << " parallel job(s)\n\n";
+
+    core::MatrixSpec matrix;
+    matrix.countries = {country};
+    matrix.phases = {tv::kAllPhases.begin(), tv::kAllPhases.end()};
+    matrix.duration = duration;
+    matrix.seed = 77;
+    const auto traces = core::MatrixRunner(jobs).run(matrix);
 
     for (const tv::Phase phase : tv::kAllPhases) {
-        const auto traces = core::CampaignRunner::run_sweep(country, phase, duration, 77);
-        const auto table = core::CampaignRunner::make_table(traces, country, phase);
+        std::vector<core::ScenarioTrace> phase_traces;
+        for (const auto& trace : traces) {
+            if (trace.spec.phase == phase) phase_traces.push_back(trace);
+        }
+        const auto table = core::CampaignRunner::make_table(phase_traces, country, phase);
         std::cout << table.render() << "\n";
 
         // Export per-scenario ACR time series for the opted-in default phase.
         if (phase == tv::Phase::kLInOIn) {
-            for (const auto& trace : traces) {
+            for (const auto& trace : phase_traces) {
                 const auto series = analysis::bucketize(trace.acr_events, SimTime{}, duration,
                                                         SimTime::seconds(1),
                                                         analysis::SeriesMetric::kBytes);

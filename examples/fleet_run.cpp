@@ -1,43 +1,70 @@
 // The paper's exact deployment (Figure 2): both TVs measured side by side
 // on one simulated testbed — one AP and capture per TV, shared internet —
 // then analyzed per device and validated with the validation-script checks.
+// The UK and US deployments are independent simulations, so they run
+// concurrently on the thread pool (set TVACR_JOBS=1 to force serial);
+// results print in fixed country order either way.
 #include <cstdio>
+#include <future>
 #include <iostream>
+#include <vector>
 
-#include "core/campaign.hpp"
+#include "common/thread_pool.hpp"
 #include "core/fleet.hpp"
+#include "core/matrix_runner.hpp"
 #include "core/validation.hpp"
 
 using namespace tvacr;
 
 int main() {
-    core::FleetSpec spec;
-    spec.country = tv::Country::kUk;
-    spec.scenario = tv::Scenario::kLinear;
-    spec.phase = tv::Phase::kLInOIn;
-    spec.duration = SimTime::minutes(20);
-    spec.seed = 404;
+    std::vector<core::FleetSpec> specs;
+    for (const tv::Country country : {tv::Country::kUk, tv::Country::kUs}) {
+        core::FleetSpec spec;
+        spec.country = country;
+        spec.scenario = tv::Scenario::kLinear;
+        spec.phase = tv::Phase::kLInOIn;
+        spec.duration = SimTime::minutes(20);
+        spec.seed = 404;
+        specs.push_back(spec);
+    }
 
-    std::cout << "Running both TVs simultaneously: " << to_string(spec.scenario) << ", "
-              << to_string(spec.phase) << ", " << to_string(spec.country) << ", "
-              << spec.duration.as_seconds() / 60 << " min\n\n";
-    core::FleetTestbed fleet(spec);
-    const auto result = fleet.run();
+    const auto run_fleet = [](const core::FleetSpec& spec) {
+        core::FleetTestbed fleet(spec);
+        return fleet.run();
+    };
 
-    for (const auto* experiment : {&result.lg, &result.samsung}) {
-        const auto trace = core::trace_of(*experiment);
-        std::printf("%s: %zu frames captured, %llu uploads, %llu recognized, ACR %.1f KB\n",
-                    to_string(experiment->spec.brand).c_str(), experiment->capture.size(),
-                    static_cast<unsigned long long>(experiment->batches_uploaded),
-                    static_cast<unsigned long long>(experiment->backend_matches),
-                    trace.total_acr_kb);
-        for (const auto& [domain, kb] : trace.kb_per_domain) {
-            std::printf("    %-36s %8.1f KB\n", domain.c_str(), kb);
+    std::vector<core::FleetTestbed::Result> results;
+    if (core::default_jobs() > 1) {
+        common::ThreadPool pool(specs.size());
+        std::vector<std::future<core::FleetTestbed::Result>> futures;
+        for (const auto& spec : specs) {
+            futures.push_back(pool.submit([&run_fleet, spec]() { return run_fleet(spec); }));
         }
-        const auto validation = core::validate_experiment(*experiment);
-        std::printf("  validation: %s\n\n",
-                    validation.all_passed() ? "all checks passed" : "FAILURES");
-        if (!validation.all_passed()) std::cout << validation.render();
+        for (auto& future : futures) results.push_back(future.get());
+    } else {
+        for (const auto& spec : specs) results.push_back(run_fleet(spec));
+    }
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto& spec = specs[i];
+        std::cout << "Running both TVs simultaneously: " << to_string(spec.scenario) << ", "
+                  << to_string(spec.phase) << ", " << to_string(spec.country) << ", "
+                  << spec.duration.as_seconds() / 60 << " min\n\n";
+        for (const auto* experiment : {&results[i].lg, &results[i].samsung}) {
+            const auto trace = core::trace_of(*experiment);
+            std::printf("%s: %zu frames captured, %llu uploads, %llu recognized, ACR %.1f KB\n",
+                        to_string(experiment->spec.brand).c_str(), experiment->capture.size(),
+                        static_cast<unsigned long long>(experiment->batches_uploaded),
+                        static_cast<unsigned long long>(experiment->backend_matches),
+                        trace.total_acr_kb);
+            for (const auto& [domain, kb] : trace.kb_per_domain) {
+                std::printf("    %-36s %8.1f KB\n", domain.c_str(), kb);
+            }
+            const auto validation = core::validate_experiment(*experiment);
+            std::printf("  validation: %s\n\n",
+                        validation.all_passed() ? "all checks passed" : "FAILURES");
+            if (!validation.all_passed()) std::cout << validation.render();
+        }
     }
     return 0;
 }

@@ -1,0 +1,47 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tvacr::common {
+
+ThreadPool::ThreadPool(std::size_t workers) : worker_count_(std::max<std::size_t>(workers, 1)) {
+    workers_.reserve(worker_count_);
+    for (std::size_t i = 0; i < worker_count_; ++i) {
+        workers_.emplace_back([this]() { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && workers_.empty()) return;  // already shut down
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    std::vector<std::thread> workers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        workers.swap(workers_);
+    }
+    for (auto& worker : workers) {
+        if (worker.joinable()) worker.join();
+    }
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock, [this]() { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) return;  // stopping_ and fully drained
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();  // packaged_task routes any exception into the future
+    }
+}
+
+}  // namespace tvacr::common

@@ -1,0 +1,73 @@
+// Fixed-size worker pool for running independent jobs off the caller's
+// thread. Each submitted task gets a future that carries its return value —
+// or rethrows, at future.get(), any exception the task raised. Shutdown
+// (explicit or via the destructor) drains every task that was accepted
+// before the pool stopped; submissions racing with shutdown fail with
+// std::runtime_error rather than being silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tvacr::common {
+
+class ThreadPool {
+  public:
+    /// Spawns `workers` threads (at least one).
+    explicit ThreadPool(std::size_t workers);
+
+    /// Equivalent to shutdown(): drains accepted tasks, then joins.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t worker_count() const noexcept { return worker_count_; }
+
+    /// Enqueues `task` and returns the future for its result. Exceptions the
+    /// task throws surface at future.get(). Throws std::runtime_error if the
+    /// pool is shutting down.
+    template <typename F>
+    [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F task) {
+        using R = std::invoke_result_t<F>;
+        auto packaged = std::make_shared<std::packaged_task<R()>>(std::move(task));
+        std::future<R> future = packaged->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+            tasks_.push([packaged]() { (*packaged)(); });
+        }
+        ready_.notify_one();
+        return future;
+    }
+
+    /// Stops accepting tasks, runs everything already queued, joins the
+    /// workers. Idempotent and safe to call while other threads submit (they
+    /// observe the stop and get std::runtime_error).
+    void shutdown();
+
+  private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::queue<std::function<void()>> tasks_;
+    bool stopping_ = false;
+    std::size_t worker_count_ = 0;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace tvacr::common
+
+namespace tvacr {
+using common::ThreadPool;
+}  // namespace tvacr

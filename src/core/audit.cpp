@@ -1,8 +1,11 @@
 #include "core/audit.hpp"
 
+#include <future>
+#include <optional>
 #include <sstream>
 
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "core/campaign.hpp"
 
 namespace tvacr::core {
@@ -20,13 +23,21 @@ AuditReport AuditPipeline::run(const AuditConfig& config) {
     opted_in.duration = config.duration;
     opted_in.seed = config.seed;
 
-    Testbed bed(ExperimentRunner::testbed_config(opted_in));
-    const ExperimentResult in_result = ExperimentRunner::run_on(bed, opted_in);
-
-    // Opted-out control run.
+    // Opted-out control run, overlapped with the opted-in capture when the
+    // config allows a second job.
     ExperimentSpec opted_out = opted_in;
     opted_out.phase = tv::Phase::kLInOOut;
-    const ExperimentResult out_result = ExperimentRunner::run(opted_out);
+    std::optional<common::ThreadPool> pool;
+    std::future<ExperimentResult> out_future;
+    if (config.jobs > 1) {
+        pool.emplace(1);
+        out_future = pool->submit([opted_out]() { return ExperimentRunner::run(opted_out); });
+    }
+
+    Testbed bed(ExperimentRunner::testbed_config(opted_in));
+    const ExperimentResult in_result = ExperimentRunner::run_on(bed, opted_in);
+    const ExperimentResult out_result =
+        out_future.valid() ? out_future.get() : ExperimentRunner::run(opted_out);
 
     const auto in_analysis = in_result.analyze();
     const auto out_analysis = out_result.analyze();

@@ -20,6 +20,10 @@ struct AuditConfig {
     tv::Scenario scenario = tv::Scenario::kLinear;
     SimTime duration = SimTime::hours(1);
     std::uint64_t seed = 42;
+    /// jobs > 1 runs the opted-in capture and the opted-out control
+    /// concurrently; both are isolated simulations, so the report is
+    /// identical either way.
+    int jobs = 1;
 };
 
 struct DomainGeolocation {

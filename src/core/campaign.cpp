@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "core/matrix_runner.hpp"
 
 namespace tvacr::core {
 
@@ -63,20 +64,18 @@ std::vector<std::string> CampaignRunner::table_row_domains(tv::Country country) 
 
 std::vector<ScenarioTrace> CampaignRunner::run_sweep(tv::Country country, tv::Phase phase,
                                                      SimTime duration, std::uint64_t seed) {
-    std::vector<ScenarioTrace> traces;
-    for (const tv::Scenario scenario : tv::kAllScenarios) {
-        for (const tv::Brand brand : {tv::Brand::kLg, tv::Brand::kSamsung}) {
-            ExperimentSpec spec;
-            spec.brand = brand;
-            spec.country = country;
-            spec.scenario = scenario;
-            spec.phase = phase;
-            spec.duration = duration;
-            spec.seed = seed;
-            traces.push_back(trace_of(ExperimentRunner::run(spec)));
-        }
-    }
-    return traces;
+    return run_sweep(country, phase, duration, seed, default_jobs());
+}
+
+std::vector<ScenarioTrace> CampaignRunner::run_sweep(tv::Country country, tv::Phase phase,
+                                                     SimTime duration, std::uint64_t seed,
+                                                     int jobs) {
+    MatrixSpec matrix;
+    matrix.countries = {country};
+    matrix.phases = {phase};
+    matrix.duration = duration;
+    matrix.seed = seed;
+    return MatrixRunner(jobs).run(matrix);
 }
 
 analysis::Table CampaignRunner::make_table(const std::vector<ScenarioTrace>& traces,

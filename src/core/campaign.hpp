@@ -37,10 +37,17 @@ class CampaignRunner {
 
     /// Runs both brands across all six scenarios for (country, phase) and
     /// collects each scenario's ACR trace. Results arrive in scenario order,
-    /// LG and Samsung merged per scenario.
+    /// LG and Samsung merged per scenario. `jobs` experiments run in
+    /// parallel (default: the TVACR_JOBS environment variable, else the
+    /// hardware concurrency); every experiment is an isolated deterministic
+    /// simulation, so the results are identical for any worker count, and
+    /// jobs == 1 runs serially on the calling thread.
     [[nodiscard]] static std::vector<ScenarioTrace> run_sweep(tv::Country country,
                                                               tv::Phase phase, SimTime duration,
                                                               std::uint64_t seed);
+    [[nodiscard]] static std::vector<ScenarioTrace> run_sweep(tv::Country country,
+                                                              tv::Phase phase, SimTime duration,
+                                                              std::uint64_t seed, int jobs);
 
     /// Renders a sweep as a paper-style table (domains x scenarios, KB).
     [[nodiscard]] static analysis::Table make_table(const std::vector<ScenarioTrace>& traces,

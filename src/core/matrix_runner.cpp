@@ -1,0 +1,92 @@
+#include "core/matrix_runner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace tvacr::core {
+
+int default_jobs() {
+    if (const char* env = std::getenv("TVACR_JOBS"); env != nullptr) {
+        const long jobs = std::strtol(env, nullptr, 10);
+        return jobs >= 1 ? static_cast<int>(jobs) : 1;
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware >= 1 ? static_cast<int>(hardware) : 1;
+}
+
+MatrixRunner::MatrixRunner(int jobs) : jobs_(std::max(jobs, 1)) {}
+
+std::vector<ExperimentSpec> MatrixRunner::expand(const MatrixSpec& matrix) {
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(matrix.countries.size() * matrix.phases.size() * matrix.scenarios.size() *
+                  matrix.brands.size());
+    for (const tv::Country country : matrix.countries) {
+        for (const tv::Phase phase : matrix.phases) {
+            for (const tv::Scenario scenario : matrix.scenarios) {
+                for (const tv::Brand brand : matrix.brands) {
+                    ExperimentSpec spec;
+                    spec.brand = brand;
+                    spec.country = country;
+                    spec.scenario = scenario;
+                    spec.phase = phase;
+                    spec.duration = matrix.duration;
+                    spec.seed = matrix.seed;
+                    specs.push_back(spec);
+                }
+            }
+        }
+    }
+    return specs;
+}
+
+namespace {
+
+/// Runs `job(spec)` for every spec, on `jobs` workers when that pays off,
+/// and returns the outputs in input order. The serial path runs on the
+/// caller's thread with no pool at all.
+template <typename Job>
+auto run_in_order(const std::vector<ExperimentSpec>& specs, int jobs, Job job) {
+    using Output = decltype(job(specs.front()));
+    std::vector<Output> outputs;
+    outputs.reserve(specs.size());
+    if (jobs <= 1 || specs.size() <= 1) {
+        for (const auto& spec : specs) outputs.push_back(job(spec));
+        return outputs;
+    }
+
+    common::ThreadPool pool(std::min<std::size_t>(static_cast<std::size_t>(jobs), specs.size()));
+    std::vector<std::future<Output>> futures;
+    futures.reserve(specs.size());
+    for (const auto& spec : specs) {
+        futures.push_back(pool.submit([spec, &job]() { return job(spec); }));
+    }
+    // get() in submission order: completion order cannot reorder results,
+    // and the first job exception propagates here.
+    for (auto& future : futures) outputs.push_back(future.get());
+    return outputs;
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> MatrixRunner::run_experiments(
+    const std::vector<ExperimentSpec>& specs) const {
+    return run_in_order(specs, jobs_,
+                        [](const ExperimentSpec& spec) { return ExperimentRunner::run(spec); });
+}
+
+std::vector<ScenarioTrace> MatrixRunner::run_traces(
+    const std::vector<ExperimentSpec>& specs) const {
+    return run_in_order(specs, jobs_, [](const ExperimentSpec& spec) {
+        return trace_of(ExperimentRunner::run(spec));
+    });
+}
+
+std::vector<ScenarioTrace> MatrixRunner::run(const MatrixSpec& matrix) const {
+    return run_traces(expand(matrix));
+}
+
+}  // namespace tvacr::core

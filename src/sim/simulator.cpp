@@ -24,7 +24,11 @@ bool Simulator::step() {
 
 void Simulator::run_until(SimTime deadline) {
     while (!queue_.empty() && queue_.top().when <= deadline) step();
-    if (now_ < deadline) now_ = deadline;
+    // Events remain beyond the deadline: the clock parks at the deadline
+    // between them. Queue drained early: the clock stays at the last event
+    // fired — min(deadline, last event), as documented — so back-to-back
+    // run_until calls never fabricate idle time past the simulation's end.
+    if (!queue_.empty() && now_ < deadline) now_ = deadline;
 }
 
 void Simulator::run_all() {

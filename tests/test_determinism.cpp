@@ -1,0 +1,117 @@
+// Determinism guarantees of the parallel campaign engine: a sweep run on
+// one worker and on eight workers must be *identical* — same ACR events,
+// same per-domain KB, same packet counts — because every matrix cell is an
+// isolated simulation and the engine reassembles results in matrix order.
+// Same-seed runs are bit-identical down to the capture bytes; different
+// seeds diverge.
+#include <gtest/gtest.h>
+
+#include "core/matrix_runner.hpp"
+#include "net/pcap.hpp"
+
+namespace tvacr::core {
+namespace {
+
+MatrixSpec uk_us_matrix(std::uint64_t seed) {
+    MatrixSpec matrix;
+    matrix.countries = {tv::Country::kUk, tv::Country::kUs};
+    matrix.phases = {tv::Phase::kLInOIn};
+    matrix.duration = SimTime::minutes(2);
+    matrix.seed = seed;
+    return matrix;
+}
+
+void expect_traces_identical(const std::vector<ScenarioTrace>& a,
+                             const std::vector<ScenarioTrace>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].spec.name());
+        EXPECT_EQ(a[i].spec.name(), b[i].spec.name());
+        // Exact double equality is intentional: identical simulations must
+        // produce identical arithmetic, not merely close results.
+        EXPECT_EQ(a[i].total_acr_kb, b[i].total_acr_kb);
+        EXPECT_EQ(a[i].kb_per_domain, b[i].kb_per_domain);
+        ASSERT_EQ(a[i].acr_events.size(), b[i].acr_events.size());
+        for (std::size_t e = 0; e < a[i].acr_events.size(); ++e) {
+            EXPECT_EQ(a[i].acr_events[e].timestamp, b[i].acr_events[e].timestamp);
+            EXPECT_EQ(a[i].acr_events[e].frame_bytes, b[i].acr_events[e].frame_bytes);
+            EXPECT_EQ(a[i].acr_events[e].device_to_server, b[i].acr_events[e].device_to_server);
+        }
+        ASSERT_EQ(a[i].per_domain.size(), b[i].per_domain.size());
+        for (const auto& [domain, events] : a[i].per_domain) {
+            const auto it = b[i].per_domain.find(domain);
+            ASSERT_NE(it, b[i].per_domain.end()) << domain;
+            EXPECT_EQ(events.size(), it->second.size()) << domain;
+        }
+    }
+}
+
+TEST(MatrixDeterminismTest, UkUsSweepIdenticalWithOneAndEightWorkers) {
+    const MatrixSpec matrix = uk_us_matrix(/*seed=*/2024);
+    const auto serial = MatrixRunner(1).run(matrix);
+    const auto parallel = MatrixRunner(8).run(matrix);
+    ASSERT_EQ(serial.size(), 24U);  // 2 countries x 6 scenarios x 2 brands
+    expect_traces_identical(serial, parallel);
+}
+
+TEST(MatrixDeterminismTest, RunSweepMatchesSerialForAnyWorkerCount) {
+    const auto serial = CampaignRunner::run_sweep(tv::Country::kUk, tv::Phase::kLInOIn,
+                                                  SimTime::minutes(2), /*seed=*/7, /*jobs=*/1);
+    const auto parallel = CampaignRunner::run_sweep(tv::Country::kUk, tv::Phase::kLInOIn,
+                                                    SimTime::minutes(2), /*seed=*/7, /*jobs=*/8);
+    expect_traces_identical(serial, parallel);
+}
+
+TEST(MatrixDeterminismTest, SameSeedCapturesAreBitIdentical) {
+    // Down to the pcap bytes: captures from two parallel runs of the same
+    // matrix must match byte for byte.
+    MatrixSpec matrix = uk_us_matrix(/*seed=*/99);
+    matrix.scenarios = {tv::Scenario::kLinear};  // keep captures small
+    const auto specs = MatrixRunner::expand(matrix);
+    ASSERT_EQ(specs.size(), 4U);
+    const auto first = MatrixRunner(8).run_experiments(specs);
+    const auto second = MatrixRunner(8).run_experiments(specs);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        SCOPED_TRACE(specs[i].name());
+        EXPECT_EQ(first[i].capture.size(), second[i].capture.size());
+        EXPECT_EQ(net::to_pcap_bytes(first[i].capture), net::to_pcap_bytes(second[i].capture));
+        EXPECT_EQ(first[i].batches_uploaded, second[i].batches_uploaded);
+        EXPECT_EQ(first[i].backend_matches, second[i].backend_matches);
+    }
+}
+
+TEST(MatrixDeterminismTest, DifferentSeedsDiverge) {
+    MatrixSpec matrix = uk_us_matrix(/*seed=*/1);
+    matrix.countries = {tv::Country::kUk};
+    matrix.scenarios = {tv::Scenario::kLinear};
+    MatrixSpec other = matrix;
+    other.seed = 2;
+    const auto a = MatrixRunner(2).run_experiments(MatrixRunner::expand(matrix));
+    const auto b = MatrixRunner(2).run_experiments(MatrixRunner::expand(other));
+    ASSERT_EQ(a.size(), b.size());
+    bool any_difference = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (net::to_pcap_bytes(a[i].capture) != net::to_pcap_bytes(b[i].capture)) {
+            any_difference = true;
+        }
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(MatrixDeterminismTest, ExpandEnumeratesInMatrixOrder) {
+    MatrixSpec matrix;
+    matrix.countries = {tv::Country::kUk, tv::Country::kUs};
+    matrix.phases = {tv::Phase::kLInOIn, tv::Phase::kLInOOut};
+    matrix.scenarios = {tv::Scenario::kIdle, tv::Scenario::kLinear};
+    const auto specs = MatrixRunner::expand(matrix);
+    ASSERT_EQ(specs.size(), 2U * 2U * 2U * 2U);
+    // Brand flips fastest, then scenario, then phase, then country.
+    EXPECT_EQ(specs[0].name(), "LG/UK/Idle/LIn-OIn");
+    EXPECT_EQ(specs[1].name(), "Samsung/UK/Idle/LIn-OIn");
+    EXPECT_EQ(specs[2].name(), "LG/UK/Linear/LIn-OIn");
+    EXPECT_EQ(specs[8].name(), "LG/US/Idle/LIn-OIn");
+}
+
+}  // namespace
+}  // namespace tvacr::core

@@ -4,9 +4,13 @@
 // hang, on arbitrary bytes).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <tuple>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "dns/message.hpp"
 #include "fp/batch.hpp"
 #include "net/pcap.hpp"
@@ -270,6 +274,88 @@ TEST(FuzzTest, BackendSurvivesArbitraryPayloads) {
         const Bytes response = backend.handle(junk);
         EXPECT_GE(response.size(), 17U);  // always a well-formed error reply
     }
+}
+
+// ------------------------------------------------------ thread pool invariants
+
+TEST(ThreadPoolTest, EveryTaskExecutesExactlyOnce) {
+    constexpr int kTasks = 500;
+    common::ThreadPool pool(4);
+    std::vector<std::atomic<int>> executions(kTasks);
+    std::vector<std::future<int>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit([&executions, i]() {
+            executions[static_cast<std::size_t>(i)].fetch_add(1);
+            return i;
+        }));
+    }
+    for (int i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);  // results map 1:1 to tasks
+    }
+    for (int i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(executions[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+    }
+}
+
+TEST(ThreadPoolTest, TaskExceptionSurfacesAtFutureGet) {
+    common::ThreadPool pool(2);
+    auto throwing = pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+    auto healthy = pool.submit([]() { return 42; });
+    EXPECT_THROW(throwing.get(), std::runtime_error);
+    // A failing task must not poison the pool or its neighbours.
+    EXPECT_EQ(healthy.get(), 42);
+    EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsAcceptedTasksUnderConcurrentSubmission) {
+    // Submitters race the pool's shutdown (the destructor's drain path).
+    // Every submit that was accepted must execute before shutdown returns;
+    // every rejected submit must throw — no task is silently dropped.
+    common::ThreadPool pool(3);
+    std::atomic<int> executed{0};
+    std::atomic<int> accepted{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&]() {
+            for (int i = 0; i < 10000; ++i) {
+                try {
+                    auto future = pool.submit([&executed]() { executed.fetch_add(1); });
+                    accepted.fetch_add(1);
+                    (void)future;  // discarded future must not block shutdown
+                } catch (const std::runtime_error&) {
+                    rejected.fetch_add(1);
+                    break;
+                }
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    pool.shutdown();  // concurrent with active submitters
+    const int executed_at_shutdown = executed.load();
+    for (auto& submitter : submitters) submitter.join();
+    EXPECT_EQ(executed_at_shutdown, executed.load());  // nothing runs after shutdown returns
+    EXPECT_EQ(executed.load(), accepted.load());
+    // The pool destructor (second shutdown) must be a clean no-op.
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedBacklog) {
+    // One slow worker, many queued tasks, immediate destruction: the
+    // destructor must run the entire accepted backlog before joining.
+    std::atomic<int> executed{0};
+    constexpr int kTasks = 64;
+    {
+        common::ThreadPool pool(1);
+        for (int i = 0; i < kTasks; ++i) {
+            auto future = pool.submit([&executed]() {
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+                executed.fetch_add(1);
+            });
+            (void)future;
+        }
+    }
+    EXPECT_EQ(executed.load(), kTasks);
 }
 
 // ------------------------------------------------ simulator determinism sweep

@@ -3,10 +3,26 @@
 // within 2x of the published values. This is the canary that catches
 // calibration drift from any future change; the benches print the full
 // tables.
+//
+// The GoldenTrace tests below are stricter: a small fixed-seed experiment's
+// pcap bytes and report JSON are compared byte-for-byte against checked-in
+// files under tests/golden/. Any intentional behaviour change must
+// regenerate them:
+//
+//   TVACR_UPDATE_GOLDEN=1 ./build/tests/test_regression \
+//       --gtest_filter='GoldenTrace.*'
+//
+// and the regenerated files reviewed and committed alongside the change.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "core/campaign.hpp"
+#include "core/export.hpp"
 #include "core/paper.hpp"
+#include "net/pcap.hpp"
 
 namespace tvacr::core {
 namespace {
@@ -41,6 +57,86 @@ TEST(CalibrationRegression, SamsungLinearHourMatchesTable2) {
     EXPECT_GT(measured, paper / 2.0);
     EXPECT_LT(measured, paper * 2.0);
     EXPECT_NEAR(measured / paper, 1.0, 0.20);
+}
+
+// ------------------------------------------------------------ golden traces
+
+#ifndef TVACR_GOLDEN_DIR
+#define TVACR_GOLDEN_DIR "tests/golden"
+#endif
+
+/// The golden experiment: small (2 simulated minutes), fixed seed, and
+/// covering both an ACR-chatty brand path and the report JSON.
+ExperimentSpec golden_spec() {
+    ExperimentSpec spec;
+    spec.brand = tv::Brand::kSamsung;
+    spec.country = tv::Country::kUk;
+    spec.scenario = tv::Scenario::kLinear;
+    spec.phase = tv::Phase::kLInOIn;
+    spec.duration = SimTime::minutes(2);
+    spec.seed = 7;
+    return spec;
+}
+
+std::string golden_path(const char* name) {
+    return std::string(TVACR_GOLDEN_DIR) + "/" + name;
+}
+
+bool update_golden() { return std::getenv("TVACR_UPDATE_GOLDEN") != nullptr; }
+
+std::string read_file(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream content;
+    content << file.rdbuf();
+    return content.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+    std::ofstream file(path, std::ios::binary);
+    file << content;
+}
+
+/// Report JSON for the golden experiment: the scenario trace plus the
+/// validation-script counters, so drift in either layer is caught.
+std::string golden_report_json(const ExperimentResult& result) {
+    std::ostringstream json;
+    json << "{\"trace\":" << trace_to_json(trace_of(result))
+         << ",\"capture_frames\":" << result.capture.size()
+         << ",\"batches_uploaded\":" << result.batches_uploaded
+         << ",\"captures_taken\":" << result.captures_taken
+         << ",\"backend_matches\":" << result.backend_matches
+         << ",\"backend_batches\":" << result.backend_batches << "}\n";
+    return json.str();
+}
+
+TEST(GoldenTrace, PcapBytesMatchCheckedInCapture) {
+    const auto result = ExperimentRunner::run(golden_spec());
+    const Bytes pcap = net::to_pcap_bytes(result.capture);
+    const std::string measured(pcap.begin(), pcap.end());
+    const std::string path = golden_path("samsung_uk_linear_2min_seed7.pcap");
+    if (update_golden()) {
+        write_file(path, measured);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    const std::string golden = read_file(path);
+    ASSERT_FALSE(golden.empty()) << "missing golden file " << path
+                                 << " — regenerate with TVACR_UPDATE_GOLDEN=1";
+    ASSERT_EQ(measured.size(), golden.size());
+    EXPECT_TRUE(measured == golden) << "pcap bytes drifted from " << path;
+}
+
+TEST(GoldenTrace, ReportJsonMatchesCheckedInReport) {
+    const auto result = ExperimentRunner::run(golden_spec());
+    const std::string measured = golden_report_json(result);
+    const std::string path = golden_path("samsung_uk_linear_2min_seed7.json");
+    if (update_golden()) {
+        write_file(path, measured);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    const std::string golden = read_file(path);
+    ASSERT_FALSE(golden.empty()) << "missing golden file " << path
+                                 << " — regenerate with TVACR_UPDATE_GOLDEN=1";
+    EXPECT_EQ(measured, golden);
 }
 
 }  // namespace

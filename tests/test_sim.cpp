@@ -45,6 +45,49 @@ TEST(SimulatorTest, SameTimeEventsAreFifo) {
     for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+TEST(SimulatorTest, SameTimeEventsStayFifoBeyond64kSchedules) {
+    // The FIFO tie-break rides on a monotonically growing sequence number;
+    // it must not wrap or collide even after far more than 2^16 schedules.
+    Simulator sim;
+    constexpr int kWarmup = (1 << 16) + 100;
+    int warmup_fired = 0;
+    for (int i = 0; i < kWarmup; ++i) {
+        sim.at(SimTime::millis(1), [&]() { ++warmup_fired; });
+    }
+    sim.run_all();
+    EXPECT_EQ(warmup_fired, kWarmup);
+
+    // Past the 2^16 boundary, same-timestamp events still fire in exact
+    // insertion order.
+    std::vector<int> order;
+    for (int i = 0; i < 1000; ++i) {
+        sim.at(sim.now() + SimTime::millis(5), [&, i]() { order.push_back(i); });
+    }
+    sim.run_all();
+    ASSERT_EQ(order.size(), 1000U);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtLastEventWhenQueueEmptiesEarly) {
+    // Documented contract: the clock finishes at min(deadline, last event).
+    Simulator sim;
+    sim.at(SimTime::seconds(1), []() {});
+    sim.at(SimTime::seconds(2), []() {});
+    sim.run_until(SimTime::seconds(60));
+    EXPECT_EQ(sim.now(), SimTime::seconds(2));  // not fabricated up to 60 s
+    EXPECT_EQ(sim.pending_events(), 0U);
+
+    // A later deadline with an empty queue does not move the clock either.
+    sim.run_until(SimTime::seconds(90));
+    EXPECT_EQ(sim.now(), SimTime::seconds(2));
+
+    // With events beyond the deadline, the clock parks at the deadline.
+    sim.at(SimTime::seconds(100), []() {});
+    sim.run_until(SimTime::seconds(50));
+    EXPECT_EQ(sim.now(), SimTime::seconds(50));
+    EXPECT_EQ(sim.pending_events(), 1U);
+}
+
 TEST(SimulatorTest, RunUntilStopsAtDeadline) {
     Simulator sim;
     int fired = 0;

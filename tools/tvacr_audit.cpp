@@ -2,12 +2,13 @@
 //
 //   tvacr_audit [--brand samsung|lg] [--country uk|us]
 //               [--scenario idle|linear|fast|ott|hdmi|cast]
-//               [--minutes N] [--seed N] [--json out.json] [--mitm]
+//               [--minutes N] [--seed N] [--jobs N] [--json out.json] [--mitm]
 //
 // Runs an opted-in capture and an opted-out control, identifies the ACR
 // endpoints from traffic alone, geolocates them, reports what the operator
 // learned, and (with --mitm) decomposes the payloads under the lab
 // interception proxy. --json writes the machine-readable report.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -15,6 +16,7 @@
 
 #include "core/audit.hpp"
 #include "core/export.hpp"
+#include "core/matrix_runner.hpp"
 #include "core/mitm_audit.hpp"
 
 using namespace tvacr;
@@ -25,7 +27,7 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--brand samsung|lg] [--country uk|us]\n"
                  "          [--scenario idle|linear|fast|ott|hdmi|cast]\n"
-                 "          [--minutes N] [--seed N] [--json out.json] [--mitm]\n",
+                 "          [--minutes N] [--seed N] [--jobs N] [--json out.json] [--mitm]\n",
                  argv0);
     return 2;
 }
@@ -35,6 +37,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
     core::AuditConfig config;
     config.duration = SimTime::minutes(30);
+    config.jobs = core::default_jobs();
     std::string json_path;
     bool mitm = false;
 
@@ -66,6 +69,8 @@ int main(int argc, char** argv) {
             config.duration = SimTime::minutes(std::atol(value.c_str()));
         } else if (key == "--seed") {
             config.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+        } else if (key == "--jobs") {
+            config.jobs = std::max(1, std::atoi(value.c_str()));
         } else if (key == "--json") {
             json_path = value;
         } else {
