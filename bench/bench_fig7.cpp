@@ -4,5 +4,5 @@
 int main(int argc, char** argv) {
     using namespace tvacr;
     return bench::run_cdf_figure_bench("Figure 7", tv::Country::kUs,
-                                       bench::parse_jobs(argc, argv));
+                                       bench::parse_obs(argc, argv));
 }

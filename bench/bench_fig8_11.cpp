@@ -1,11 +1,12 @@
 // Reproduces Figures 8-11: per-scenario ACR traffic detail for every
-// (country, opted-in phase) combination.   Usage: bench_fig8_11 [--jobs N]
+// (country, opted-in phase) combination.
+// Usage: bench_fig8_11 [--jobs N] [--metrics m.json] [--trace t.json]
 #include "figure_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace tvacr;
     const SimTime duration = bench::bench_duration();
-    const int jobs = bench::parse_jobs(argc, argv);
+    const auto obs_options = bench::parse_obs(argc, argv);
     struct Figure {
         const char* name;
         tv::Country country;
@@ -17,13 +18,24 @@ int main(int argc, char** argv) {
         {"Figure 10", tv::Country::kUs, tv::Phase::kLInOIn},
         {"Figure 11", tv::Country::kUs, tv::Phase::kLOutOIn},
     };
+    std::vector<core::ScenarioTrace> all_traces;
+    obs::Scope profile;
     for (const auto& figure : figures) {
-        const auto traces =
-            core::CampaignRunner::run_sweep(figure.country, figure.phase, duration, 2024, jobs);
+        core::MatrixSpec matrix;
+        matrix.countries = {figure.country};
+        matrix.phases = {figure.phase};
+        matrix.duration = duration;
+        matrix.seed = 2024;
+        matrix.trace = obs_options.trace_enabled();
+        core::MatrixRunner runner(obs_options.jobs);
+        if (obs_options.trace_enabled()) runner.set_profile(&profile);
+        const auto traces = runner.run(matrix);
         bench::print_traffic_figure((std::string(figure.name) + " (LG)").c_str(), tv::Brand::kLg,
                                     figure.country, figure.phase, traces);
         bench::print_traffic_figure((std::string(figure.name) + " (Samsung)").c_str(),
                                     tv::Brand::kSamsung, figure.country, figure.phase, traces);
+        all_traces.insert(all_traces.end(), traces.begin(), traces.end());
     }
+    bench::emit_obs(obs_options, all_traces, profile);
     return 0;
 }

@@ -13,15 +13,25 @@ using namespace tvacr;
 
 int main(int argc, char** argv) {
     const SimTime duration = bench::bench_duration();
-    const int jobs = bench::parse_jobs(argc, argv);
+    const auto obs_options = bench::parse_obs(argc, argv);
     std::cout << "Opt-out validation (paper §4.2): ACR KB per scenario after opting out of\n"
               << "all advertising/tracking options (Table 1). Expected: zero everywhere.\n\n";
 
     int violations = 0;
+    std::vector<core::ScenarioTrace> all_traces;
+    obs::Scope profile;
     for (const tv::Country country : {tv::Country::kUk, tv::Country::kUs}) {
         for (const tv::Phase phase : {tv::Phase::kLInOOut, tv::Phase::kLOutOOut}) {
-            const auto traces =
-                core::CampaignRunner::run_sweep(country, phase, duration, 2024, jobs);
+            core::MatrixSpec matrix;
+            matrix.countries = {country};
+            matrix.phases = {phase};
+            matrix.duration = duration;
+            matrix.seed = 2024;
+            matrix.trace = obs_options.trace_enabled();
+            core::MatrixRunner runner(obs_options.jobs);
+            if (obs_options.trace_enabled()) runner.set_profile(&profile);
+            const auto traces = runner.run(matrix);
+            all_traces.insert(all_traces.end(), traces.begin(), traces.end());
             std::printf("%s %s:\n", to_string(country).c_str(), to_string(phase).c_str());
             for (const auto& trace : traces) {
                 // Also check that no *new* ACR-named domain appeared.
@@ -34,6 +44,7 @@ int main(int argc, char** argv) {
             }
         }
     }
+    bench::emit_obs(obs_options, all_traces, profile);
     std::printf("\nScenario/phase combinations with residual ACR traffic: %d (paper: 0)\n",
                 violations);
     return violations == 0 ? 0 : 1;

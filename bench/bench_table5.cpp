@@ -4,5 +4,5 @@
 int main(int argc, char** argv) {
     using namespace tvacr;
     return bench::run_table_bench(tv::Country::kUs, tv::Phase::kLOutOIn, "Table 5",
-                                  bench::parse_jobs(argc, argv));
+                                  bench::parse_obs(argc, argv));
 }

@@ -45,11 +45,18 @@ inline void print_traffic_figure(const char* figure_name, tv::Brand brand, tv::C
 
 /// Figure 4/6-style bench: run the sweep once, print LG and Samsung panels.
 inline int run_traffic_figure_bench(const char* figure_name, tv::Country country,
-                                    int jobs = core::default_jobs()) {
+                                    const ObsOptions& obs_options) {
     const SimTime duration = bench_duration();
-    const auto traces =
-        core::CampaignRunner::run_sweep(country, tv::Phase::kLInOIn, duration, /*seed=*/2024,
-                                        jobs);
+    core::MatrixSpec matrix;
+    matrix.countries = {country};
+    matrix.phases = {tv::Phase::kLInOIn};
+    matrix.duration = duration;
+    matrix.seed = 2024;
+    matrix.trace = obs_options.trace_enabled();
+    core::MatrixRunner runner(obs_options.jobs);
+    obs::Scope profile;
+    if (obs_options.trace_enabled()) runner.set_profile(&profile);
+    const auto traces = runner.run(matrix);
     print_traffic_figure((std::string(figure_name) + "a").c_str(), tv::Brand::kLg, country,
                          tv::Phase::kLInOIn, traces);
     print_traffic_figure((std::string(figure_name) + "b").c_str(), tv::Brand::kSamsung, country,
@@ -73,7 +80,15 @@ inline int run_traffic_figure_bench(const char* figure_name, tv::Country country
         std::printf("%s: Linear/HDMI vs quiet-scenario ACR volume: %.0fx\n",
                     to_string(brand).c_str(), quiet > 0 ? loud / quiet : 0.0);
     }
+    emit_obs(obs_options, traces, profile);
     return 0;
+}
+
+inline int run_traffic_figure_bench(const char* figure_name, tv::Country country,
+                                    int jobs = core::default_jobs()) {
+    ObsOptions options;
+    options.jobs = jobs;
+    return run_traffic_figure_bench(figure_name, country, options);
 }
 
 /// Figure 5/7-style bench: cumulative bytes to ACR domains over time for the
@@ -81,7 +96,7 @@ inline int run_traffic_figure_bench(const char* figure_name, tv::Country country
 /// logged-in and logged-out curves (the paper: login status has no material
 /// impact).
 inline int run_cdf_figure_bench(const char* figure_name, tv::Country country,
-                                int jobs = core::default_jobs()) {
+                                const ObsOptions& obs_options) {
     // Both opted-in phases in one 2x6x2 matrix, split back afterwards — the
     // engine keeps all 24 experiments in flight together.
     core::MatrixSpec matrix;
@@ -89,8 +104,12 @@ inline int run_cdf_figure_bench(const char* figure_name, tv::Country country,
     matrix.phases = {tv::Phase::kLInOIn, tv::Phase::kLOutOIn};
     matrix.duration = bench_duration();
     matrix.seed = 2024;
+    matrix.trace = obs_options.trace_enabled();
     const SimTime duration = matrix.duration;
-    const auto all_traces = core::MatrixRunner(jobs).run(matrix);
+    core::MatrixRunner runner(obs_options.jobs);
+    obs::Scope profile;
+    if (obs_options.trace_enabled()) runner.set_profile(&profile);
+    const auto all_traces = runner.run(matrix);
     std::vector<core::ScenarioTrace> in_traces;
     std::vector<core::ScenarioTrace> out_traces;
     for (const auto& trace : all_traces) {
@@ -124,7 +143,15 @@ inline int run_cdf_figure_bench(const char* figure_name, tv::Country country,
         }
     }
     std::cout << "\n";
+    emit_obs(obs_options, all_traces, profile);
     return 0;
+}
+
+inline int run_cdf_figure_bench(const char* figure_name, tv::Country country,
+                                int jobs = core::default_jobs()) {
+    ObsOptions options;
+    options.jobs = jobs;
+    return run_cdf_figure_bench(figure_name, country, options);
 }
 
 }  // namespace tvacr::bench

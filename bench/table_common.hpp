@@ -10,15 +10,19 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "analysis/compare.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "core/campaign.hpp"
 #include "core/export.hpp"
 #include "core/matrix_runner.hpp"
 #include "core/paper.hpp"
 #include "core/validation.hpp"
+#include "obs/io.hpp"
 
 namespace tvacr::bench {
 
@@ -33,6 +37,67 @@ namespace tvacr::bench {
         }
     }
     return core::default_jobs();
+}
+
+/// Observability knobs shared by the bench binaries: --jobs N plus
+/// --metrics <file> (merged deterministic metrics, byte-identical for any
+/// jobs value) and --trace <file> (sim-time spans + wall-clock runner
+/// profiling as a Chrome trace_event file; ".csv" switches either to CSV).
+struct ObsOptions {
+    int jobs = 1;
+    std::string metrics_path;
+    std::string trace_path;
+
+    [[nodiscard]] bool trace_enabled() const noexcept { return !trace_path.empty(); }
+};
+
+[[nodiscard]] inline ObsOptions parse_obs(int argc, char** argv) {
+    ObsOptions options;
+    options.jobs = parse_jobs(argc, argv);
+    for (int i = 1; i + 1 < argc; ++i) {
+        const std::string key = argv[i];
+        if (key == "--metrics") options.metrics_path = argv[i + 1];
+        if (key == "--trace") options.trace_path = argv[i + 1];
+    }
+    return options;
+}
+
+/// Writes the --metrics/--trace outputs for a finished sweep and prints a
+/// wall-clock profile summary (selection-based percentiles over the
+/// runner's per-cell timings). The profile scope's wall-clock data goes
+/// only into the trace file, never into the deterministic metrics output.
+inline void emit_obs(const ObsOptions& options, const std::vector<core::ScenarioTrace>& traces,
+                     const obs::Scope& profile) {
+    if (!profile.trace.empty()) {
+        std::vector<double> run_us;
+        for (const auto& event : profile.trace.events()) {
+            if (event.category == "runner" && event.phase == 'X') {
+                run_us.push_back(static_cast<double>(event.dur_us));
+            }
+        }
+        if (!run_us.empty()) {
+            const std::span<double> span(run_us);
+            std::printf("Per-cell run time: p50 %.0f ms, p95 %.0f ms over %zu cells\n",
+                        percentile(span, 0.5) / 1000.0, percentile(span, 0.95) / 1000.0,
+                        run_us.size());
+        }
+    }
+    if (!options.metrics_path.empty()) {
+        if (obs::write_metrics_file(options.metrics_path, core::merged_metrics(traces))) {
+            std::printf("(metrics written to %s)\n", options.metrics_path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n", options.metrics_path.c_str());
+        }
+    }
+    if (options.trace_enabled()) {
+        obs::TraceLog log = core::merged_trace(traces);
+        log.merge_from(profile.trace.events(), 0, "runner");
+        if (obs::write_trace_file(options.trace_path, log)) {
+            std::printf("(trace written to %s)\n", options.trace_path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n", options.trace_path.c_str());
+        }
+    }
 }
 
 /// Duration used for the table reproductions. The paper runs 1 h; that is
@@ -65,15 +130,24 @@ inline void write_artifact(const std::string& name, const std::string& content) 
 }
 
 inline int run_table_bench(tv::Country country, tv::Phase phase, const char* table_name,
-                           int jobs = core::default_jobs()) {
+                           const ObsOptions& obs_options) {
+    const int jobs = obs_options.jobs;
     const SimTime duration = bench_duration();
     std::cout << "Reproducing " << table_name << ": KB to/from ACR domains, "
               << to_string(phase) << " in " << to_string(country) << " ("
               << duration.as_seconds() / 60 << " min per experiment, scaled to 1 h, " << jobs
               << " job(s))\n\n";
 
-    const auto traces =
-        core::CampaignRunner::run_sweep(country, phase, duration, /*seed=*/2024, jobs);
+    core::MatrixSpec matrix;
+    matrix.countries = {country};
+    matrix.phases = {phase};
+    matrix.duration = duration;
+    matrix.seed = 2024;
+    matrix.trace = obs_options.trace_enabled();
+    core::MatrixRunner runner(jobs);
+    obs::Scope profile;
+    if (obs_options.trace_enabled()) runner.set_profile(&profile);
+    const auto traces = runner.run(matrix);
 
     analysis::Table table;
     table.header = {"Domain Name"};
@@ -143,7 +217,15 @@ inline int run_table_bench(tv::Country country, tv::Phase phase, const char* tab
     const std::string slug = std::string(table_name);
     write_artifact(slug + ".md", comparison.to_markdown("Domain"));
     write_artifact(slug + ".json", core::sweep_to_json(traces, country, phase));
+    emit_obs(obs_options, traces, profile);
     return validation_failures == 0 ? 0 : 1;
+}
+
+inline int run_table_bench(tv::Country country, tv::Phase phase, const char* table_name,
+                           int jobs = core::default_jobs()) {
+    ObsOptions options;
+    options.jobs = jobs;
+    return run_table_bench(country, phase, table_name, options);
 }
 
 }  // namespace tvacr::bench

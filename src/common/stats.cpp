@@ -22,15 +22,25 @@ double variance(std::span<const double> xs) {
 
 double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 
-double percentile(std::vector<double> xs, double q) {
+double percentile(std::span<double> xs, double q) {
     if (xs.empty()) return 0.0;
     q = std::clamp(q, 0.0, 1.0);
-    std::sort(xs.begin(), xs.end());
     const double rank = q * static_cast<double>(xs.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const auto hi = std::min(lo + 1, xs.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+    // Selection instead of a full sort: place element `lo`, then the next
+    // order statistic (when distinct) is the minimum of the upper partition.
+    const auto lo_it = xs.begin() + static_cast<std::ptrdiff_t>(lo);
+    std::nth_element(xs.begin(), lo_it, xs.end());
+    const double lo_value = *lo_it;
+    double hi_value = lo_value;
+    if (hi != lo) hi_value = *std::min_element(lo_it + 1, xs.end());
+    return lo_value + (hi_value - lo_value) * frac;
+}
+
+double percentile(std::vector<double> xs, double q) {
+    return percentile(std::span<double>(xs), q);
 }
 
 double coefficient_of_variation(std::span<const double> xs) {

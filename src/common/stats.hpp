@@ -17,6 +17,12 @@ namespace tvacr {
 [[nodiscard]] double stddev(std::span<const double> xs);
 
 /// Linear-interpolated percentile; q in [0,1]. Returns 0 for empty input.
+/// Partially reorders `xs` in place (std::nth_element — O(n) instead of a
+/// full sort); pass a scratch copy if the order matters.
+[[nodiscard]] double percentile(std::span<double> xs, double q);
+
+/// Convenience overload taking its scratch copy by value. Same result as
+/// the span overload on any input.
 [[nodiscard]] double percentile(std::vector<double> xs, double q);
 
 /// Coefficient of variation (stddev/mean); 0 when the mean is 0.

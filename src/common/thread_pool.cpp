@@ -7,8 +7,19 @@ namespace tvacr::common {
 ThreadPool::ThreadPool(std::size_t workers) : worker_count_(std::max<std::size_t>(workers, 1)) {
     workers_.reserve(worker_count_);
     for (std::size_t i = 0; i < worker_count_; ++i) {
-        workers_.emplace_back([this]() { worker_loop(); });
+        workers_.emplace_back([this, i]() { worker_loop(i); });
     }
+}
+
+void ThreadPool::set_observer(TaskObserver observer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    observer_ = std::move(observer);
+}
+
+std::int64_t ThreadPool::now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                                epoch_)
+        .count();
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
@@ -30,17 +41,28 @@ void ThreadPool::shutdown() {
     }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
     for (;;) {
-        std::function<void()> task;
+        Entry entry;
+        const TaskObserver* observer = nullptr;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             ready_.wait(lock, [this]() { return stopping_ || !tasks_.empty(); });
             if (tasks_.empty()) return;  // stopping_ and fully drained
-            task = std::move(tasks_.front());
+            entry = std::move(tasks_.front());
             tasks_.pop();
+            // Stable for the task's duration: set_observer is not called
+            // while tasks are in flight (see header contract).
+            if (observer_) observer = &observer_;
         }
-        task();  // packaged_task routes any exception into the future
+        TaskTiming timing;
+        timing.sequence = entry.sequence;
+        timing.worker = worker_index;
+        timing.enqueue_ns = entry.enqueue_ns;
+        timing.start_ns = now_ns();
+        entry.fn();  // packaged_task routes any exception into the future
+        timing.finish_ns = now_ns();
+        if (observer != nullptr) (*observer)(timing);
     }
 }
 

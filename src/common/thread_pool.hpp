@@ -6,8 +6,10 @@
 // std::runtime_error rather than being silently dropped.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -33,6 +35,27 @@ class ThreadPool {
 
     [[nodiscard]] std::size_t worker_count() const noexcept { return worker_count_; }
 
+    /// Wall-clock timing of one executed task. Timestamps are nanoseconds on
+    /// the steady clock, relative to pool construction.
+    struct TaskTiming {
+        std::uint64_t sequence = 0;  // submission order, starting at 0
+        std::size_t worker = 0;      // index of the worker that ran the task
+        std::int64_t enqueue_ns = 0;
+        std::int64_t start_ns = 0;
+        std::int64_t finish_ns = 0;
+        [[nodiscard]] std::int64_t queue_wait_ns() const noexcept { return start_ns - enqueue_ns; }
+        [[nodiscard]] std::int64_t run_ns() const noexcept { return finish_ns - start_ns; }
+    };
+
+    /// Profiling hook, invoked on the worker thread after each task returns
+    /// (including tasks whose future carries an exception). Install before
+    /// submitting work; do not change it while tasks are in flight. The
+    /// observer fires *after* the task's future is satisfied, so waiters on
+    /// the future must synchronise with observer side effects separately
+    /// (MatrixRunner counts observed tasks atomically for this reason).
+    using TaskObserver = std::function<void(const TaskTiming&)>;
+    void set_observer(TaskObserver observer);
+
     /// Enqueues `task` and returns the future for its result. Exceptions the
     /// task throws surface at future.get(). Throws std::runtime_error if the
     /// pool is shutting down.
@@ -44,7 +67,7 @@ class ThreadPool {
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-            tasks_.push([packaged]() { (*packaged)(); });
+            tasks_.push(Entry{[packaged]() { (*packaged)(); }, next_sequence_++, now_ns()});
         }
         ready_.notify_one();
         return future;
@@ -56,13 +79,23 @@ class ThreadPool {
     void shutdown();
 
   private:
-    void worker_loop();
+    struct Entry {
+        std::function<void()> fn;
+        std::uint64_t sequence = 0;
+        std::int64_t enqueue_ns = 0;
+    };
+
+    void worker_loop(std::size_t worker_index);
+    [[nodiscard]] std::int64_t now_ns() const;
 
     std::mutex mutex_;
     std::condition_variable ready_;
-    std::queue<std::function<void()>> tasks_;
+    std::queue<Entry> tasks_;
     bool stopping_ = false;
     std::size_t worker_count_ = 0;
+    std::uint64_t next_sequence_ = 0;
+    std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+    TaskObserver observer_;
     std::vector<std::thread> workers_;
 };
 

@@ -22,6 +22,7 @@ AuditReport AuditPipeline::run(const AuditConfig& config) {
     opted_in.phase = tv::Phase::kLInOIn;
     opted_in.duration = config.duration;
     opted_in.seed = config.seed;
+    opted_in.trace = config.trace;
 
     // Opted-out control run, overlapped with the opted-in capture when the
     // config allows a second job.
@@ -49,6 +50,15 @@ AuditReport AuditPipeline::run(const AuditConfig& config) {
     }
     report.true_acr_domains = in_result.true_acr_domains;
     report.backend_matches = in_result.backend_matches;
+
+    // Fixed merge order (opted-in, then opted-out) keeps the merged metrics
+    // byte-identical whether the control run overlapped or ran serially.
+    report.metrics.merge(in_result.metrics);
+    report.metrics.merge(out_result.metrics);
+    if (config.trace) {
+        report.trace.merge_from(in_result.trace_events, 1, "opted-in " + opted_in.name());
+        report.trace.merge_from(out_result.trace_events, 2, "opted-out " + opted_out.name());
+    }
 
     for (const auto& domain : in_result.true_acr_domains) {
         if (const auto* stats = in_analysis.find(domain)) {

@@ -11,6 +11,7 @@
 #include "analysis/acr_detect.hpp"
 #include "core/experiment.hpp"
 #include "geo/geolocator.hpp"
+#include "obs/scope.hpp"
 
 namespace tvacr::core {
 
@@ -24,6 +25,8 @@ struct AuditConfig {
     /// concurrently; both are isolated simulations, so the report is
     /// identical either way.
     int jobs = 1;
+    /// Record sim-time trace spans during both runs (--trace).
+    bool trace = false;
 };
 
 struct DomainGeolocation {
@@ -41,6 +44,13 @@ struct AuditReport {
     double opted_out_acr_kb = 0.0;
     std::uint64_t backend_matches = 0;
     std::vector<std::string> audience_segments;
+
+    /// Metrics merged across both runs in fixed order (opted-in, then
+    /// opted-out) — byte-identical for any jobs value.
+    obs::Registry metrics;
+    /// Trace spans from both runs (pid 1 = opted-in, pid 2 = opted-out);
+    /// empty unless config.trace.
+    obs::TraceLog trace;
 
     /// Human-readable report.
     [[nodiscard]] std::string render() const;

@@ -28,6 +28,8 @@ std::string display_domain(const std::string& domain) {
 ScenarioTrace trace_of(const ExperimentResult& result) {
     ScenarioTrace trace;
     trace.spec = result.spec;
+    trace.metrics = result.metrics;
+    trace.trace_events = result.trace_events;
 
     const auto analyzer = result.analyze();
     for (const auto& true_domain : result.true_acr_domains) {
@@ -49,6 +51,21 @@ ScenarioTrace trace_of(const ExperimentResult& result) {
                   return a.timestamp < b.timestamp;
               });
     return trace;
+}
+
+obs::Registry merged_metrics(const std::vector<ScenarioTrace>& traces) {
+    obs::Registry merged;
+    for (const auto& trace : traces) merged.merge(trace.metrics);
+    return merged;
+}
+
+obs::TraceLog merged_trace(const std::vector<ScenarioTrace>& traces) {
+    obs::TraceLog log;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (traces[i].trace_events.empty()) continue;
+        log.merge_from(traces[i].trace_events, static_cast<int>(i) + 1, traces[i].spec.name());
+    }
+    return log;
 }
 
 std::vector<std::string> CampaignRunner::table_row_domains(tv::Country country) {

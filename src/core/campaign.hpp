@@ -20,6 +20,9 @@ struct ScenarioTrace {
     std::map<std::string, std::vector<analysis::PacketEvent>> per_domain;
     std::map<std::string, double> kb_per_domain;
     double total_acr_kb = 0.0;
+    /// The cell's deterministic metrics and (when enabled) sim-time trace.
+    obs::Registry metrics;
+    std::vector<obs::TraceEvent> trace_events;
 };
 
 /// Collapses a rotated domain back to its display pattern, e.g.
@@ -28,6 +31,15 @@ struct ScenarioTrace {
 
 /// Extracts the ACR-domain traffic from an experiment result.
 [[nodiscard]] ScenarioTrace trace_of(const ExperimentResult& result);
+
+/// Merges per-cell registries in input (matrix) order. Because each cell is
+/// deterministic and the order is fixed, the merged registry — and its
+/// serialized form — is byte-identical for any worker count.
+[[nodiscard]] obs::Registry merged_metrics(const std::vector<ScenarioTrace>& traces);
+
+/// Merges per-cell trace events into one log, one trace_event process per
+/// cell (pid = cell index + 1, labeled with the spec name).
+[[nodiscard]] obs::TraceLog merged_trace(const std::vector<ScenarioTrace>& traces);
 
 class CampaignRunner {
   public:

@@ -24,6 +24,7 @@ TestbedConfig ExperimentRunner::testbed_config(const ExperimentSpec& spec) {
     config.logged_in = tv::is_logged_in(spec.phase);
     // The rotating domain number varies between experiments, as observed.
     config.domain_rotation = static_cast<int>(derive_seed(config.seed, 0x207) % 10);
+    config.trace = spec.trace;
     return config;
 }
 
@@ -61,6 +62,26 @@ ExperimentResult ExperimentRunner::run_on(Testbed& bed, const ExperimentSpec& sp
     result.backend_matches = bed.backend().batches_matched();
     result.backend_batches = bed.backend().batches_received();
     result.true_acr_domains = bed.tv().acr().domain_names();
+
+    // The backend terminates TLS on the far side of the wire and has no
+    // Simulator reference, so its counters are folded into the cell's
+    // registry here. Folding the delta keeps repeated run_on calls on one
+    // bed from double-counting.
+    auto& registry = bed.simulator().obs().metrics;
+    const auto fold = [&registry](const char* name, std::uint64_t total) {
+        auto counter = registry.counter(name);
+        counter.add(total - counter.value());
+    };
+    fold("acr.backend.batches", bed.backend().batches_received());
+    fold("acr.backend.matches", bed.backend().batches_matched());
+    fold("acr.backend.heartbeats", bed.backend().heartbeats());
+    fold("acr.backend.telemetry", bed.backend().telemetry_events());
+
+    // Snapshot, not move: the bed (and the handles into its registry) lives
+    // on — the audit pipeline keeps using it for geolocation.
+    result.metrics = registry;
+    result.trace_events = bed.simulator().obs().trace.events();
+
     result.capture = bed.take_capture();
     return result;
 }

@@ -10,6 +10,7 @@
 
 #include "analysis/traffic.hpp"
 #include "core/testbed.hpp"
+#include "obs/scope.hpp"
 #include "tv/scenario.hpp"
 
 namespace tvacr::core {
@@ -21,6 +22,9 @@ struct ExperimentSpec {
     tv::Phase phase = tv::Phase::kLInOIn;
     SimTime duration = SimTime::hours(1);
     std::uint64_t seed = 42;
+    /// Record sim-time trace spans (DNS, TCP, ACR) during the run. Off by
+    /// default: counters are always collected, spans only on request.
+    bool trace = false;
 
     [[nodiscard]] std::string name() const;
 };
@@ -39,6 +43,13 @@ struct ExperimentResult {
     /// Ground-truth ACR domain names for this brand/country (with rotation),
     /// for evaluating the identifier against what the device really used.
     std::vector<std::string> true_acr_domains;
+
+    /// The cell's deterministic metrics (dns.*, tcp.*, acr.*, ap.*, cloud.*,
+    /// plus the backend's acr.backend.* counters folded in at experiment
+    /// end). Byte-identical across runs and worker counts.
+    obs::Registry metrics;
+    /// Sim-time trace spans; empty unless spec.trace was set.
+    std::vector<obs::TraceEvent> trace_events;
 
     /// Builds the per-domain analysis of this capture.
     [[nodiscard]] analysis::CaptureAnalyzer analyze() const;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "obs/scope.hpp"
 
 namespace tvacr::core {
 
@@ -29,6 +30,8 @@ struct MatrixSpec {
     std::vector<tv::Brand> brands = {tv::Brand::kLg, tv::Brand::kSamsung};
     SimTime duration = SimTime::hours(1);
     std::uint64_t seed = 42;
+    /// Propagated to every expanded spec: record sim-time trace spans.
+    bool trace = false;
 };
 
 class MatrixRunner {
@@ -36,6 +39,15 @@ class MatrixRunner {
     explicit MatrixRunner(int jobs = default_jobs());
 
     [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+    /// Installs a profiling sink. While set, every run records wall-clock
+    /// per-cell queue-wait and run time into it: one "runner"-category trace
+    /// span per cell (tid = worker index) plus runner.queue_wait_us /
+    /// runner.run_us histograms. Wall-clock data is nondeterministic by
+    /// nature — keep the profile scope separate from the deterministic
+    /// per-cell metrics (tools write it only into --trace output).
+    void set_profile(obs::Scope* profile) noexcept { profile_ = profile; }
+    [[nodiscard]] obs::Scope* profile() const noexcept { return profile_; }
 
     /// Flattens a matrix into specs, in deterministic matrix order.
     [[nodiscard]] static std::vector<ExperimentSpec> expand(const MatrixSpec& matrix);
@@ -56,6 +68,7 @@ class MatrixRunner {
 
   private:
     int jobs_;
+    obs::Scope* profile_ = nullptr;
 };
 
 }  // namespace tvacr::core

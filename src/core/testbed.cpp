@@ -12,6 +12,7 @@ constexpr int kRotationSpan = 10;  // eu-acr0..eu-acr9 all exist server-side
 }  // namespace
 
 Testbed::Testbed(const TestbedConfig& config) : config_(config) {
+    simulator_.obs().trace.set_enabled(config.trace);
     vantage_ = geo::find_city(config.country == tv::Country::kUk ? "London" : "San Jose");
 
     cloud_ = std::make_unique<sim::Cloud>(simulator_, derive_seed(config.seed, 0xC10D));

@@ -29,6 +29,8 @@ struct TestbedConfig {
     int domain_rotation = 7;
     /// When false the tap discards frames (used by long warmups).
     bool capture = true;
+    /// Record sim-time trace spans in the simulator's obs scope.
+    bool trace = false;
     /// Enables the lab TLS-interception proxy (paper §6 future work): the
     /// AP records application plaintext alongside the black-box capture.
     bool mitm = false;

@@ -1,5 +1,6 @@
 #include "net/pcap.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 
@@ -19,11 +20,16 @@ void append_global_header(ByteWriter& out) {
 
 void append_record(ByteWriter& out, const Packet& packet) {
     const std::int64_t micros = packet.timestamp.as_micros();
+    // Frames longer than the snaplen are truncated on write, as libpcap
+    // does: incl_len is capped, orig_len preserves the true size. (The
+    // reader rejects incl_len > snaplen, so an uncapped writer would
+    // produce captures it could never read back.)
+    const std::size_t incl = std::min<std::size_t>(packet.data.size(), kPcapSnapLen);
     out.u32le(static_cast<std::uint32_t>(micros / 1'000'000));
     out.u32le(static_cast<std::uint32_t>(micros % 1'000'000));
+    out.u32le(static_cast<std::uint32_t>(incl));
     out.u32le(static_cast<std::uint32_t>(packet.data.size()));
-    out.u32le(static_cast<std::uint32_t>(packet.data.size()));
-    out.raw(packet.data);
+    out.raw(BytesView(packet.data.data(), incl));
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+#include "obs/io.hpp"
+
+#include <fstream>
+
+namespace tvacr::obs {
+
+namespace {
+
+bool wants_csv(const std::string& path) {
+    return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    file << content;
+    return static_cast<bool>(file);
+}
+
+}  // namespace
+
+bool write_trace_file(const std::string& path, const TraceLog& log) {
+    return write_file(path, wants_csv(path) ? log.to_csv() : log.to_chrome_json());
+}
+
+bool write_metrics_file(const std::string& path, const Registry& registry) {
+    return write_file(path, wants_csv(path) ? registry.to_csv() : registry.to_json());
+}
+
+}  // namespace tvacr::obs

@@ -1,0 +1,20 @@
+// File emission for the observability layer: --trace / --metrics outputs.
+// The format follows the path suffix — ".csv" writes the flat CSV form,
+// anything else the JSON form (Chrome trace_event array for traces, the
+// deterministic registry object for metrics).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tvacr::obs {
+
+/// Writes the trace log to `path`. Returns false on I/O failure.
+bool write_trace_file(const std::string& path, const TraceLog& log);
+
+/// Writes the registry to `path`. Returns false on I/O failure.
+bool write_metrics_file(const std::string& path, const Registry& registry);
+
+}  // namespace tvacr::obs

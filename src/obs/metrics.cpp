@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace tvacr::obs {
+
+namespace {
+
+/// Shortest round-trip decimal rendering, stable across runs: integers as
+/// integers, everything else via %.17g (which reproduces the double bit
+/// pattern exactly).
+std::string format_double(double value) {
+    if (std::isfinite(value) && value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+        std::abs(value) < 1e15) {
+        return std::to_string(static_cast<std::int64_t>(value));
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+/// Metric names are plain identifiers, but escape quotes/backslashes anyway
+/// so the emitted JSON is always well-formed.
+std::string escape_json(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out += buffer;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::size_t bucket_index(double value) {
+    if (value < 1.0) return 0;
+    const auto v = static_cast<std::uint64_t>(value);
+    return static_cast<std::size_t>(std::bit_width(v));
+}
+
+}  // namespace
+
+void HistogramData::observe(double value) {
+    if (count == 0) {
+        min = value;
+        max = value;
+    } else {
+        if (value < min) min = value;
+        if (value > max) max = value;
+    }
+    ++count;
+    sum += value;
+    buckets[std::min<std::size_t>(bucket_index(value), buckets.size() - 1)] += 1;
+}
+
+void HistogramData::merge(const HistogramData& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        if (other.min < min) min = other.min;
+        if (other.max > max) max = other.max;
+    }
+    count += other.count;
+    sum += other.sum;
+    for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+Registry::Counter Registry::counter(const std::string& name) {
+    return Counter(&counters_[name]);
+}
+
+Registry::Gauge Registry::gauge(const std::string& name) { return Gauge(&gauges_[name]); }
+
+Registry::Histogram Registry::histogram(const std::string& name) {
+    return Histogram(&histograms_[name]);
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge_value(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const HistogramData* Registry::histogram_data(const std::string& name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::merge(const Registry& other) {
+    for (const auto& [name, value] : other.counters_) counters_[name] += value;
+    for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+    for (const auto& [name, data] : other.histograms_) histograms_[name].merge(data);
+}
+
+std::string Registry::to_json() const {
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counters_) {
+        out << (first ? "\n" : ",\n") << "    \"" << escape_json(name) << "\": " << value;
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : gauges_) {
+        out << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
+            << "\": " << format_double(value);
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, data] : histograms_) {
+        out << (first ? "\n" : ",\n") << "    \"" << escape_json(name) << "\": {\"count\": "
+            << data.count << ", \"sum\": " << format_double(data.sum)
+            << ", \"min\": " << format_double(data.min)
+            << ", \"max\": " << format_double(data.max) << ", \"buckets\": {";
+        bool first_bucket = true;
+        for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+            if (data.buckets[i] == 0) continue;
+            if (!first_bucket) out << ", ";
+            out << "\"" << i << "\": " << data.buckets[i];
+            first_bucket = false;
+        }
+        out << "}}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n}\n";
+    return out.str();
+}
+
+std::string Registry::to_csv() const {
+    std::ostringstream out;
+    out << "kind,name,value,sum,min,max\n";
+    for (const auto& [name, value] : counters_) {
+        out << "counter," << name << "," << value << ",,,\n";
+    }
+    for (const auto& [name, value] : gauges_) {
+        out << "gauge," << name << "," << format_double(value) << ",,,\n";
+    }
+    for (const auto& [name, data] : histograms_) {
+        out << "histogram," << name << "," << data.count << "," << format_double(data.sum) << ","
+            << format_double(data.min) << "," << format_double(data.max) << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace tvacr::obs

@@ -1,0 +1,117 @@
+// Deterministic metrics registry: named counters, gauges, and histograms.
+//
+// One Registry lives inside every sim::Simulator, so each matrix cell (an
+// isolated simulation) accumulates its own metrics with no locking and no
+// cross-thread contention. Because every value is derived from simulated
+// time and simulated traffic, a cell's registry is bit-identical across
+// runs and worker counts; merging per-cell registries in matrix order makes
+// the merged output deterministic too — observability doubles as a
+// correctness oracle (see test_determinism.cpp).
+//
+// Handles (Counter/Gauge/Histogram) are stable pointers into the registry's
+// node-based maps; components look a name up once at construction and then
+// update through the handle on the hot path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tvacr::obs {
+
+/// Histogram payload: count/sum/min/max plus power-of-two buckets. Bucket i
+/// counts observations v with 2^(i-1) <= v < 2^i (bucket 0: v < 1). Values
+/// are non-negative; negative observations clamp to bucket 0.
+struct HistogramData {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, 64> buckets{};
+
+    void observe(double value);
+    void merge(const HistogramData& other);
+    [[nodiscard]] double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+class Registry {
+  public:
+    class Counter {
+      public:
+        Counter() = default;
+        void add(std::uint64_t delta = 1) {
+            if (slot_ != nullptr) *slot_ += delta;
+        }
+        [[nodiscard]] std::uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+
+      private:
+        friend class Registry;
+        explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+        std::uint64_t* slot_ = nullptr;
+    };
+
+    class Gauge {
+      public:
+        Gauge() = default;
+        void set(double value) {
+            if (slot_ != nullptr) *slot_ = value;
+        }
+        [[nodiscard]] double value() const { return slot_ != nullptr ? *slot_ : 0.0; }
+
+      private:
+        friend class Registry;
+        explicit Gauge(double* slot) : slot_(slot) {}
+        double* slot_ = nullptr;
+    };
+
+    class Histogram {
+      public:
+        Histogram() = default;
+        void observe(double value) {
+            if (slot_ != nullptr) slot_->observe(value);
+        }
+        [[nodiscard]] const HistogramData* data() const { return slot_; }
+
+      private:
+        friend class Registry;
+        explicit Histogram(HistogramData* slot) : slot_(slot) {}
+        HistogramData* slot_ = nullptr;
+    };
+
+    /// Finds or creates the named instrument. Handles stay valid for the
+    /// registry's lifetime (std::map nodes never move).
+    [[nodiscard]] Counter counter(const std::string& name);
+    [[nodiscard]] Gauge gauge(const std::string& name);
+    [[nodiscard]] Histogram histogram(const std::string& name);
+
+    /// Read-side lookups; zero / nullptr when the name was never registered.
+    [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+    [[nodiscard]] double gauge_value(const std::string& name) const;
+    [[nodiscard]] const HistogramData* histogram_data(const std::string& name) const;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return counters_.empty() && gauges_.empty() && histograms_.empty();
+    }
+
+    /// Folds `other` into this registry: counters add, histograms merge,
+    /// gauges take the other's value (last-merged wins). Merging a fixed
+    /// sequence of deterministic registries in a fixed order yields a
+    /// deterministic result.
+    void merge(const Registry& other);
+
+    /// Deterministic JSON object {"counters":{...},"gauges":{...},
+    /// "histograms":{...}} with keys in sorted order and stable number
+    /// formatting — byte-identical for identical contents.
+    [[nodiscard]] std::string to_json() const;
+
+    /// Flat CSV: kind,name,value/count,sum,min,max — one row per instrument.
+    [[nodiscard]] std::string to_csv() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, HistogramData> histograms_;
+};
+
+}  // namespace tvacr::obs

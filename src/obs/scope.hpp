@@ -1,0 +1,17 @@
+// A metrics registry plus a trace log — the observability scope every
+// sim::Simulator owns. Components reach it through Simulator::obs(), so one
+// isolated simulation accumulates exactly one scope, race-free by
+// construction even when many simulations run on pool workers.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tvacr::obs {
+
+struct Scope {
+    Registry metrics;
+    TraceLog trace;
+};
+
+}  // namespace tvacr::obs

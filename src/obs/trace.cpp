@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tvacr::obs {
+
+namespace {
+
+std::string escape_json(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out += buffer;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+}  // namespace
+
+void TraceLog::span(std::string name, std::string category, SimTime start, SimTime end, int tid,
+                    std::vector<std::pair<std::string, std::string>> args) {
+    if (!enabled_) return;
+    TraceEvent event;
+    event.name = std::move(name);
+    event.category = std::move(category);
+    event.phase = 'X';
+    event.ts_us = start.as_micros();
+    event.dur_us = (end - start).as_micros();
+    event.tid = tid;
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+void TraceLog::instant(std::string name, std::string category, SimTime at, int tid,
+                       std::vector<std::pair<std::string, std::string>> args) {
+    if (!enabled_) return;
+    TraceEvent event;
+    event.name = std::move(name);
+    event.category = std::move(category);
+    event.phase = 'i';
+    event.ts_us = at.as_micros();
+    event.tid = tid;
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+void TraceLog::merge_from(const std::vector<TraceEvent>& events, int pid,
+                          const std::string& pid_label) {
+    TraceEvent meta;
+    meta.name = "process_name";
+    meta.phase = 'M';
+    meta.pid = pid;
+    meta.args.emplace_back("name", pid_label);
+    events_.push_back(std::move(meta));
+    for (TraceEvent event : events) {
+        event.pid = pid;
+        events_.push_back(std::move(event));
+    }
+}
+
+std::string TraceLog::to_chrome_json() const {
+    std::ostringstream out;
+    out << "[";
+    bool first = true;
+    for (const auto& event : events_) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "{\"name\": \"" << escape_json(event.name) << "\", \"cat\": \""
+            << escape_json(event.category.empty() ? "tvacr" : event.category) << "\", \"ph\": \""
+            << event.phase << "\", \"ts\": " << event.ts_us;
+        if (event.phase == 'X') out << ", \"dur\": " << event.dur_us;
+        if (event.phase == 'i') out << ", \"s\": \"t\"";
+        out << ", \"pid\": " << event.pid << ", \"tid\": " << event.tid;
+        if (!event.args.empty()) {
+            out << ", \"args\": {";
+            bool first_arg = true;
+            for (const auto& [key, value] : event.args) {
+                if (!first_arg) out << ", ";
+                out << "\"" << escape_json(key) << "\": \"" << escape_json(value) << "\"";
+                first_arg = false;
+            }
+            out << "}";
+        }
+        out << "}";
+    }
+    out << (first ? "]" : "\n]") << "\n";
+    return out.str();
+}
+
+std::string TraceLog::to_csv() const {
+    std::ostringstream out;
+    out << "name,category,phase,ts_us,dur_us,pid,tid\n";
+    for (const auto& event : events_) {
+        std::string name = event.name;
+        for (char& c : name) {
+            if (c == ',' || c == '\n') c = ' ';
+        }
+        out << name << "," << event.category << "," << event.phase << "," << event.ts_us << ","
+            << event.dur_us << "," << event.pid << "," << event.tid << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace tvacr::obs

@@ -1,0 +1,76 @@
+// Span-style event tracing in the Chrome trace_event format.
+//
+// Spans (DNS query -> answer, TCP connect -> FIN, ACR capture -> batch ->
+// upload) are recorded against the *simulated* clock, so a cell's trace is
+// as deterministic as its metrics. The runner's wall-clock profiling spans
+// (per-cell queue wait / run time) live in a separate TraceLog that is only
+// ever written to trace files, never to the deterministic metrics output.
+//
+// Export formats: a Chrome trace_event JSON array (loadable in
+// chrome://tracing / Perfetto) and a flat CSV for ad-hoc analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace tvacr::obs {
+
+/// One trace_event record. `phase` follows the Chrome convention:
+/// 'X' complete (ts + dur), 'i' instant, 'M' metadata.
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    char phase = 'X';
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;
+    int pid = 0;
+    int tid = 0;
+    /// Optional string arguments rendered into the event's "args" object.
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceLog {
+  public:
+    /// Recording is off by default: span emission points all over the sim
+    /// become no-ops until a tool opts in via --trace.
+    void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    /// A completed span over simulated time.
+    void span(std::string name, std::string category, SimTime start, SimTime end, int tid = 0,
+              std::vector<std::pair<std::string, std::string>> args = {});
+
+    /// A zero-duration instant event at simulated time `at`.
+    void instant(std::string name, std::string category, SimTime at, int tid = 0,
+                 std::vector<std::pair<std::string, std::string>> args = {});
+
+    /// Appends a fully-formed event (profiling spans with wall-clock
+    /// timestamps use this). Ignores the enabled flag — the caller already
+    /// decided to record.
+    void append(TraceEvent event) { events_.push_back(std::move(event)); }
+
+    [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+    [[nodiscard]] std::vector<TraceEvent> take() && { return std::move(events_); }
+    [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+    /// Folds another cell's events into this log under process id `pid`, and
+    /// emits a process_name metadata record so chrome://tracing labels the
+    /// lane with the cell's name.
+    void merge_from(const std::vector<TraceEvent>& events, int pid, const std::string& pid_label);
+
+    /// Chrome trace_event JSON array: `[ {...}, ... ]`.
+    [[nodiscard]] std::string to_chrome_json() const;
+
+    /// Flat CSV: name,category,phase,ts_us,dur_us,pid,tid.
+    [[nodiscard]] std::string to_csv() const;
+
+  private:
+    bool enabled_ = false;
+    std::vector<TraceEvent> events_;
+};
+
+}  // namespace tvacr::obs

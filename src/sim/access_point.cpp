@@ -13,13 +13,17 @@ AccessPoint::AccessPoint(Simulator& simulator, net::MacAddress mac, net::Ipv4Add
       mac_(mac),
       gateway_ip_(gateway_ip),
       wifi_latency_(wifi_latency),
-      rng_(seed) {}
+      rng_(seed),
+      m_frames_(simulator.obs().metrics.counter("ap.frames")),
+      m_bytes_(simulator.obs().metrics.counter("ap.bytes")) {}
 
 void AccessPoint::connect_station(Station& station) { station_ = &station; }
 
 void AccessPoint::tap_frame(const net::Packet& packet) {
     if (!capturing_) return;
     ++frames_tapped_;
+    m_frames_.add();
+    m_bytes_.add(packet.data.size());
     if (tap_) tap_(packet);
 }
 

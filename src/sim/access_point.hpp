@@ -91,6 +91,8 @@ class AccessPoint {
     MitmTap mitm_tap_;
     bool capturing_ = true;
     std::uint64_t frames_tapped_ = 0;
+    obs::Registry::Counter m_frames_;
+    obs::Registry::Counter m_bytes_;
     // The Wi-Fi link is FIFO: jitter never reorders frames within a direction.
     SimTime last_uplink_arrival_;
     SimTime last_downlink_arrival_;

@@ -7,7 +7,14 @@
 
 namespace tvacr::sim {
 
-Cloud::Cloud(Simulator& simulator, std::uint64_t seed) : simulator_(simulator), rng_(seed) {}
+Cloud::Cloud(Simulator& simulator, std::uint64_t seed)
+    : simulator_(simulator),
+      rng_(seed),
+      m_datagrams_(simulator.obs().metrics.counter("cloud.datagrams")),
+      m_dns_answered_(simulator.obs().metrics.counter("cloud.dns_answered")),
+      m_dns_dropped_(simulator.obs().metrics.counter("cloud.dns_dropped")),
+      m_dns_blocked_(simulator.obs().metrics.counter("cloud.dns_blocked")),
+      m_data_dropped_(simulator.obs().metrics.counter("cloud.data_dropped")) {}
 
 void Cloud::add_route(net::Ipv4Address destination, LatencyModel latency) {
     routes_[destination] = latency;
@@ -45,6 +52,7 @@ void Cloud::route_from_ap(AccessPoint& ap, const net::Packet& packet) {
     if (destination == ap.gateway_ip()) return;
 
     ++datagrams_routed_;
+    m_datagrams_.add();
     SimTime path = sample_path_latency(destination);
     SimTime arrival = simulator_.now() + path;
     auto& last = last_arrival_[destination];
@@ -83,6 +91,7 @@ bool Cloud::should_drop_data(net::Ipv4Address destination) {
     if (it == route_loss_.end() || it->second <= 0.0) return false;
     if (!rng_.chance(it->second)) return false;
     ++data_segments_dropped_;
+    m_data_dropped_.add();
     return true;
 }
 
@@ -101,15 +110,20 @@ bool Cloud::is_blocked(const dns::DomainName& name) const {
 void Cloud::handle_dns(AccessPoint& ap, const net::ParsedPacket& query_packet) {
     auto query = dns::DnsMessage::decode(query_packet.payload);
     if (!query || query.value().is_response) return;
-    if (dns_drop_rate_ > 0.0 && rng_.chance(dns_drop_rate_)) return;  // lost query
+    if (dns_drop_rate_ > 0.0 && rng_.chance(dns_drop_rate_)) {  // lost query
+        m_dns_dropped_.add();
+        return;
+    }
 
     dns::DnsMessage response;
     if (!query.value().questions.empty() && is_blocked(query.value().questions.front().name)) {
         ++blocked_queries_;
+        m_dns_blocked_.add();
         response = make_response(query.value(), {}, dns::ResponseCode::kNxDomain);
     } else {
         response = zone_.answer(query.value());
     }
+    m_dns_answered_.add();
     const Bytes wire = response.encode();
 
     // Response travels back: resolver -> AP (path latency) -> station (Wi-Fi).

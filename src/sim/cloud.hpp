@@ -94,6 +94,11 @@ class Cloud {
     // Per-destination FIFO clamp: internet paths do not reorder our flows.
     std::unordered_map<net::Ipv4Address, SimTime> last_arrival_;
     std::uint64_t datagrams_routed_ = 0;
+    obs::Registry::Counter m_datagrams_;
+    obs::Registry::Counter m_dns_answered_;
+    obs::Registry::Counter m_dns_dropped_;
+    obs::Registry::Counter m_dns_blocked_;
+    obs::Registry::Counter m_data_dropped_;
 };
 
 }  // namespace tvacr::sim

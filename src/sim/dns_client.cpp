@@ -12,14 +12,21 @@ DnsClient::DnsClient(Simulator& simulator, Station& station, net::Ipv4Address re
       rng_(seed),
       config_(config),
       port_(station.allocate_port()),
-      next_id_(static_cast<std::uint16_t>(rng_())) {
+      next_id_(static_cast<std::uint16_t>(rng_())),
+      m_queries_(simulator.obs().metrics.counter("dns.queries")),
+      m_retries_(simulator.obs().metrics.counter("dns.retries")),
+      m_answers_(simulator.obs().metrics.counter("dns.answers")),
+      m_failures_(simulator.obs().metrics.counter("dns.failures")),
+      m_timeouts_(simulator.obs().metrics.counter("dns.timeouts")),
+      m_cache_hits_(simulator.obs().metrics.counter("dns.cache_hits")),
+      m_latency_us_(simulator.obs().metrics.histogram("dns.query_latency_us")) {
     station_.bind_udp(port_, [this](net::Endpoint from, Bytes payload) {
         if (from.address != resolver_) return;
         auto response = dns::DnsMessage::decode(payload);
         if (!response || !response.value().is_response) return;
         const auto it = in_flight_.find(response.value().id);
         if (it == in_flight_.end()) return;  // late duplicate after retry
-        Callback callback = std::move(it->second);
+        Pending pending = std::move(it->second);
         in_flight_.erase(it);
 
         std::optional<net::Ipv4Address> address;
@@ -41,7 +48,7 @@ DnsClient::DnsClient(Simulator& simulator, Station& station, net::Ipv4Address re
                 cache_[queried] = CacheEntry{std::nullopt, simulator_.now() + config_.negative_ttl};
             }
         }
-        callback(address);
+        complete(std::move(pending), address);
     });
 }
 
@@ -54,6 +61,7 @@ void DnsClient::resolve(const std::string& name, Callback callback) {
     if (const auto it = cache_.find(name); it != cache_.end()) {
         if (it->second.expires > simulator_.now()) {
             (it->second.address ? cache_hits_ : negative_cache_hits_) += 1;
+            m_cache_hits_.add();
             const auto address = it->second.address;
             simulator_.after(SimTime::micros(10),
                              [callback = std::move(callback), address]() { callback(address); });
@@ -62,20 +70,35 @@ void DnsClient::resolve(const std::string& name, Callback callback) {
         cache_.erase(it);
     }
     const std::uint16_t id = next_id_++;
-    send_query(id, name, 1, std::move(callback));
+    send_query(id, name, 1, simulator_.now(), std::move(callback));
+}
+
+/// The single exit point of a query's lifecycle: every in-flight entry is
+/// erased exactly once before reaching here, so the callback cannot fire
+/// twice no matter how losses, retries, and late duplicates interleave.
+void DnsClient::complete(Pending pending, std::optional<net::Ipv4Address> address) {
+    (address ? m_answers_ : m_failures_).add();
+    m_latency_us_.observe(static_cast<double>((simulator_.now() - pending.first_sent).as_micros()));
+    simulator_.obs().trace.span("dns " + pending.name, "dns", pending.first_sent, simulator_.now(),
+                                /*tid=*/1,
+                                {{"name", pending.name}, {"answered", address ? "yes" : "no"}});
+    pending.callback(address);
 }
 
 void DnsClient::send_query(std::uint16_t id, const std::string& name, int attempt,
-                           Callback callback) {
+                           SimTime first_sent, Callback callback) {
     auto parsed = dns::DomainName::parse(name);
     if (!parsed) {
+        m_failures_.add();
         callback(std::nullopt);
         return;
     }
-    in_flight_[id] = std::move(callback);
+    in_flight_[id] = Pending{std::move(callback), name, first_sent};
     const dns::DnsMessage query = make_query(id, parsed.value(), dns::RecordType::kA);
     station_.send_udp(port_, net::Endpoint{resolver_, dns::kDnsPort}, query.encode());
     ++queries_sent_;
+    m_queries_.add();
+    if (attempt > 1) m_retries_.add();
 
     simulator_.after(config_.timeout, [this, alive = std::weak_ptr<bool>(alive_), id, name,
                                        attempt]() {
@@ -83,13 +106,14 @@ void DnsClient::send_query(std::uint16_t id, const std::string& name, int attemp
         if (!guard || !*guard) return;
         const auto it = in_flight_.find(id);
         if (it == in_flight_.end()) return;  // already answered
-        Callback pending = std::move(it->second);
+        Pending pending = std::move(it->second);
         in_flight_.erase(it);
+        m_timeouts_.add();
         if (attempt >= config_.max_attempts) {
-            pending(std::nullopt);
+            complete(std::move(pending), std::nullopt);
             return;
         }
-        send_query(next_id_++, name, attempt + 1, std::move(pending));
+        send_query(next_id_++, name, attempt + 1, pending.first_sent, std::move(pending.callback));
     });
 }
 

@@ -51,7 +51,18 @@ class DnsClient {
         SimTime expires;
     };
 
-    void send_query(std::uint16_t id, const std::string& name, int attempt, Callback callback);
+    /// One outstanding query: its completion callback plus the data the
+    /// observability span needs (the queried name and when the *first*
+    /// attempt went out, carried across retries).
+    struct Pending {
+        Callback callback;
+        std::string name;
+        SimTime first_sent;
+    };
+
+    void send_query(std::uint16_t id, const std::string& name, int attempt, SimTime first_sent,
+                    Callback callback);
+    void complete(Pending pending, std::optional<net::Ipv4Address> address);
 
     Simulator& simulator_;
     Station& station_;
@@ -60,11 +71,19 @@ class DnsClient {
     Config config_;
     std::uint16_t port_;
     std::uint16_t next_id_;
-    std::unordered_map<std::uint16_t, Callback> in_flight_;
+    std::unordered_map<std::uint16_t, Pending> in_flight_;
     std::unordered_map<std::string, CacheEntry> cache_;
     std::uint64_t queries_sent_ = 0;
     std::uint64_t cache_hits_ = 0;
     std::uint64_t negative_cache_hits_ = 0;
+    // Per-simulation metrics handles (see obs/metrics.hpp).
+    obs::Registry::Counter m_queries_;
+    obs::Registry::Counter m_retries_;
+    obs::Registry::Counter m_answers_;
+    obs::Registry::Counter m_failures_;
+    obs::Registry::Counter m_timeouts_;
+    obs::Registry::Counter m_cache_hits_;
+    obs::Registry::Histogram m_latency_us_;
     std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/scope.hpp"
 
 namespace tvacr::sim {
 
@@ -19,6 +20,12 @@ class Simulator {
     using Action = std::function<void()>;
 
     [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// This simulation's observability scope (metrics + trace). Components
+    /// holding a Simulator& emit through it; one scope per simulation keeps
+    /// the parallel sweep path contention- and race-free.
+    [[nodiscard]] obs::Scope& obs() noexcept { return obs_; }
+    [[nodiscard]] const obs::Scope& obs() const noexcept { return obs_; }
 
     /// Schedules `action` at absolute simulated time `at` (>= now).
     void at(SimTime when, Action action);
@@ -53,6 +60,7 @@ class Simulator {
     };
 
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    obs::Scope obs_;
     SimTime now_;
     std::uint64_t next_sequence_ = 0;
     std::uint64_t events_processed_ = 0;

@@ -19,7 +19,14 @@ TcpConnection::TcpConnection(Simulator& simulator, Station& station, Cloud& clou
       local_{station.ip(), station.allocate_port()},
       remote_(remote),
       responder_(std::move(responder)),
-      config_(config) {
+      config_(config),
+      m_connects_(simulator.obs().metrics.counter("tcp.connects")),
+      m_established_(simulator.obs().metrics.counter("tcp.established")),
+      m_closed_(simulator.obs().metrics.counter("tcp.closed")),
+      m_retransmits_(simulator.obs().metrics.counter("tcp.retransmits")),
+      m_bytes_up_(simulator.obs().metrics.counter("tcp.bytes_up")),
+      m_bytes_down_(simulator.obs().metrics.counter("tcp.bytes_down")),
+      m_lifetime_us_(simulator.obs().metrics.histogram("tcp.connection_lifetime_us")) {
     // Deterministic but connection-unique initial sequence numbers.
     const std::uint64_t iss_seed =
         splitmix64((static_cast<std::uint64_t>(local_.port) << 32) ^ remote_.address.value() ^
@@ -58,6 +65,8 @@ void TcpConnection::connect(std::function<void()> on_established) {
     assert(state_ == State::kIdle);
     on_established_ = std::move(on_established);
     state_ = State::kSynSent;
+    connect_at_ = simulator_.now();
+    m_connects_.add();
     client_emit(TcpFlags::kSyn, {});
 }
 
@@ -149,6 +158,7 @@ void TcpConnection::on_server_segment_at_client(const net::ParsedPacket& packet)
         client_rcv_nxt_ = tcp.sequence + 1;
         client_emit(TcpFlags::kAck, {});
         state_ = State::kEstablished;
+        m_established_.add();
         if (on_established_) {
             auto callback = std::move(on_established_);
             on_established_ = nullptr;
@@ -161,6 +171,11 @@ void TcpConnection::on_server_segment_at_client(const net::ParsedPacket& packet)
         client_rcv_nxt_ = tcp.sequence + static_cast<std::uint32_t>(packet.payload.size()) + 1;
         client_emit(TcpFlags::kAck, {});
         state_ = State::kClosed;
+        m_closed_.add();
+        m_lifetime_us_.observe(static_cast<double>((simulator_.now() - connect_at_).as_micros()));
+        simulator_.obs().trace.span("tcp " + remote_.address.to_string(), "tcp", connect_at_,
+                                    simulator_.now(), /*tid=*/2,
+                                    {{"remote", remote_.address.to_string()}});
         if (on_closed_) {
             auto callback = std::move(on_closed_);
             on_closed_ = nullptr;
@@ -219,6 +234,7 @@ void TcpConnection::send_stream(bool from_client, Bytes data) {
     // then more per cumulative ACK, so large transfers ramp up in RTT-spaced
     // flights like a real stack. Losses rewind next_offset (Go-Back-N).
     StreamTx& tx = from_client ? client_tx_ : server_tx_;
+    (from_client ? m_bytes_up_ : m_bytes_down_).add(data.size());
     tx.data = std::move(data);
     tx.base_seq = from_client ? client_snd_nxt_ : server_snd_nxt_;
     tx.acked = 0;
@@ -299,6 +315,7 @@ void TcpConnection::arm_rto(bool from_client) {
         timer_tx.duplicate_acks = 0;
         timer_tx.next_offset = timer_tx.acked;
         ++retransmits_;
+        m_retransmits_.add();
         transmit_more(from_client);
     });
 }
@@ -338,6 +355,7 @@ void TcpConnection::on_stream_ack(bool from_client, std::uint32_t ack_number) {
             tx.cwnd = std::max(tx.cwnd / 2, config_.initial_cwnd);
             tx.next_offset = tx.acked;  // fast retransmit (Go-Back-N)
             ++retransmits_;
+            m_retransmits_.add();
             transmit_more(from_client);
         }
     }

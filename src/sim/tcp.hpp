@@ -145,6 +145,16 @@ class TcpConnection {
     std::function<void()> on_closed_;
     std::function<void(Bytes)> on_response_;
 
+    // Observability: connect()-to-FIN span plus per-simulation counters.
+    SimTime connect_at_;
+    obs::Registry::Counter m_connects_;
+    obs::Registry::Counter m_established_;
+    obs::Registry::Counter m_closed_;
+    obs::Registry::Counter m_retransmits_;
+    obs::Registry::Counter m_bytes_up_;
+    obs::Registry::Counter m_bytes_down_;
+    obs::Registry::Histogram m_lifetime_us_;
+
     std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

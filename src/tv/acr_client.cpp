@@ -37,7 +37,14 @@ AcrClient::AcrClient(Wiring wiring, Brand brand, Country country, std::uint64_t 
       rotation_(domain_rotation),
       profile_(platform_profile(brand, country)),
       schedule_(acr_schedule(brand)),
-      calibration_(acr_calibration(brand, country)) {}
+      calibration_(acr_calibration(brand, country)),
+      m_captures_(wiring.simulator.obs().metrics.counter("acr.captures")),
+      m_batches_(wiring.simulator.obs().metrics.counter("acr.batches")),
+      m_bytes_up_(wiring.simulator.obs().metrics.counter("acr.bytes_up")),
+      m_heartbeats_(wiring.simulator.obs().metrics.counter("acr.heartbeats")),
+      m_probes_(wiring.simulator.obs().metrics.counter("acr.probes")),
+      m_recognitions_(wiring.simulator.obs().metrics.counter("acr.recognitions")),
+      m_peak_reports_(wiring.simulator.obs().metrics.counter("acr.peak_reports")) {}
 
 AcrClient::~AcrClient() { stop(); }
 
@@ -146,6 +153,7 @@ void AcrClient::send_on(Channel& channel, AcrMessageType type, Bytes body,
     AcrRequest request;
     request.type = type;
     request.body = std::move(body);
+    m_bytes_up_.add(request.body.size());
     if (channel.tls) {
         channel.tls->send(request.serialize(), std::move(on_response));
     } else if (channel.tcp) {
@@ -182,6 +190,7 @@ void AcrClient::schedule_capture(Channel& channel) {
                         schedule_.has_audio ? fp::audio_hash(sample->audio) : 0;
                     pending_records_.push_back(record);
                     ++captures_taken_;
+                    m_captures_.add();
                 }
             }
             schedule_capture(channel);
@@ -204,7 +213,11 @@ void AcrClient::schedule_upload(Channel& channel) {
             batch.has_audio = schedule_.has_audio;
             batch.records = std::move(pending_records_);
             pending_records_.clear();
+            const SimTime span_start = batch_start_;
             batch_start_ = wiring_.simulator.now();
+            wiring_.simulator.obs().trace.span(
+                "acr.batch", "acr", span_start, wiring_.simulator.now(), 3,
+                {{"records", std::to_string(batch.records.size())}});
 
             Bytes body = batch.serialize(schedule_.encoding);
             const std::size_t envelope = last_response_recognized_
@@ -221,9 +234,11 @@ void AcrClient::schedule_upload(Channel& channel) {
                         if (recognized) {
                             ++recognitions_;
                             ++recognized_since_peak_;
+                            m_recognitions_.add();
                         }
                     }));
             ++batches_uploaded_;
+            m_batches_.add();
 
             // Peak report every Nth upload: viewership events for what was
             // recognized since the last peak.
@@ -235,6 +250,10 @@ void AcrClient::schedule_upload(Channel& channel) {
                         static_cast<std::size_t>(recognized_since_peak_);
                 recognized_since_peak_ = 0;
                 if (report_size > 0) {
+                    m_peak_reports_.add();
+                    wiring_.simulator.obs().trace.instant(
+                        "acr.peak_report", "acr", wiring_.simulator.now(), 3,
+                        {{"bytes", std::to_string(report_size)}});
                     send_on(channel, AcrMessageType::kPeakReport, padding(report_size),
                             [](Bytes) {});
                 }
@@ -257,6 +276,7 @@ void AcrClient::schedule_heartbeat(Channel& channel) {
             }
             send_on(channel, AcrMessageType::kHeartbeat, padding(size), [](Bytes) {});
             ++heartbeats_sent_;
+            m_heartbeats_.add();
             schedule_heartbeat(channel);
         }));
 }
@@ -269,6 +289,7 @@ void AcrClient::schedule_probe(Channel& channel) {
             if (!epoch_valid(epoch) || mode_ != AcrMode::kProbe) return;
             send_on(channel, AcrMessageType::kProbe, padding(calibration_.probe_size),
                     [](Bytes) {});
+            m_probes_.add();
             schedule_probe(channel);
         }));
 }

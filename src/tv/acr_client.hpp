@@ -130,6 +130,14 @@ class AcrClient {
     std::uint64_t recognitions_ = 0;
     std::uint64_t heartbeats_sent_ = 0;
 
+    obs::Registry::Counter m_captures_;
+    obs::Registry::Counter m_batches_;
+    obs::Registry::Counter m_bytes_up_;
+    obs::Registry::Counter m_heartbeats_;
+    obs::Registry::Counter m_probes_;
+    obs::Registry::Counter m_recognitions_;
+    obs::Registry::Counter m_peak_reports_;
+
     std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

@@ -172,7 +172,8 @@ TEST(Stats, EmptyInputsAreZero) {
     const std::vector<double> none;
     EXPECT_EQ(mean(none), 0.0);
     EXPECT_EQ(variance(none), 0.0);
-    EXPECT_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+    EXPECT_EQ(percentile(std::span<double>{}, 0.5), 0.0);
     EXPECT_EQ(coefficient_of_variation(none), 0.0);
 }
 
@@ -181,6 +182,26 @@ TEST(Stats, PercentileInterpolates) {
     EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
     EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
     EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, PercentileSpanOverloadMatchesVectorOverload) {
+    // The nth_element-based span overload must agree with the sorting
+    // overload at every rank, including duplicates and unsorted input.
+    const std::vector<double> xs = {9, 1, 4, 4, 7, 2, 8, 3, 4, 6, 5, 0};
+    for (int i = 0; i <= 20; ++i) {
+        const double q = static_cast<double>(i) / 20.0;
+        std::vector<double> scratch = xs;
+        EXPECT_DOUBLE_EQ(percentile(std::span<double>(scratch), q), percentile(xs, q))
+            << "q=" << q;
+    }
+}
+
+TEST(Stats, PercentileSpanSingleElementAndClamping) {
+    std::vector<double> one = {42.0};
+    EXPECT_DOUBLE_EQ(percentile(std::span<double>(one), 0.5), 42.0);
+    std::vector<double> xs = {3, 1, 2};
+    EXPECT_DOUBLE_EQ(percentile(std::span<double>(xs), -0.5), 1.0);  // clamps to q=0
+    EXPECT_DOUBLE_EQ(percentile(std::span<double>(xs), 1.5), 3.0);   // clamps to q=1
 }
 
 TEST(Stats, AutocorrelationDetectsPeriodicSignal) {

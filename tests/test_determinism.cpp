@@ -81,6 +81,56 @@ TEST(MatrixDeterminismTest, SameSeedCapturesAreBitIdentical) {
     }
 }
 
+TEST(MatrixDeterminismTest, MetricsAndTraceBytesIdenticalAcrossWorkerCounts) {
+    // The observability layer is part of the determinism contract: the
+    // merged metrics JSON/CSV and the merged sim-time trace must be
+    // byte-identical between --jobs 1 and --jobs 8 for the same seed.
+    MatrixSpec matrix = uk_us_matrix(/*seed=*/2024);
+    matrix.scenarios = {tv::Scenario::kLinear, tv::Scenario::kIdle};
+    matrix.trace = true;
+    const auto serial = MatrixRunner(1).run(matrix);
+    const auto parallel = MatrixRunner(8).run(matrix);
+    ASSERT_EQ(serial.size(), parallel.size());
+
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].spec.name());
+        EXPECT_EQ(serial[i].metrics.to_json(), parallel[i].metrics.to_json());
+    }
+
+    const std::string serial_json = merged_metrics(serial).to_json();
+    const std::string parallel_json = merged_metrics(parallel).to_json();
+    EXPECT_EQ(serial_json, parallel_json);
+    EXPECT_EQ(merged_metrics(serial).to_csv(), merged_metrics(parallel).to_csv());
+    // The sweep actually produced traffic, and the emission points fired.
+    EXPECT_NE(serial_json.find("\"dns.queries\""), std::string::npos);
+    EXPECT_NE(serial_json.find("\"tcp.connects\""), std::string::npos);
+    EXPECT_NE(serial_json.find("\"acr.batches\""), std::string::npos);
+    EXPECT_NE(serial_json.find("\"ap.frames\""), std::string::npos);
+
+    EXPECT_EQ(merged_trace(serial).to_chrome_json(), merged_trace(parallel).to_chrome_json());
+    EXPECT_FALSE(merged_trace(serial).empty());
+}
+
+TEST(MatrixDeterminismTest, ProfilingDoesNotPerturbMetrics) {
+    // Wall-clock profiling writes only into the caller's profile scope; the
+    // deterministic per-cell metrics are unaffected by whether it is on.
+    MatrixSpec matrix = uk_us_matrix(/*seed=*/5);
+    matrix.countries = {tv::Country::kUk};
+    matrix.scenarios = {tv::Scenario::kLinear};
+    MatrixRunner plain(8);
+    MatrixRunner profiled(8);
+    obs::Scope profile;
+    profiled.set_profile(&profile);
+    const auto without = plain.run(matrix);
+    const auto with = profiled.run(matrix);
+    EXPECT_EQ(merged_metrics(without).to_json(), merged_metrics(with).to_json());
+    // One runner span and one observation per cell landed in the profile.
+    EXPECT_EQ(profile.trace.events().size(), with.size());
+    const auto* run_hist = profile.metrics.histogram_data("runner.run_us");
+    ASSERT_NE(run_hist, nullptr);
+    EXPECT_EQ(run_hist->count, with.size());
+}
+
 TEST(MatrixDeterminismTest, DifferentSeedsDiverge) {
     MatrixSpec matrix = uk_us_matrix(/*seed=*/1);
     matrix.countries = {tv::Country::kUk};

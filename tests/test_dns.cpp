@@ -86,6 +86,88 @@ TEST(NameCodecTest, RejectsTruncatedLabel) {
     EXPECT_FALSE(decode_name(r).ok());
 }
 
+TEST(NameCodecTest, PointerTargetAtWindowEdgeCompressesAndDecodes) {
+    // 0x3FFF is the last offset a 14-bit compression pointer can address.
+    // A name starting exactly there is still compressible; its deeper
+    // suffixes (past the window) must not be recorded as pointer targets.
+    const auto name = DomainName::parse("edge.example.com").value();
+    ByteWriter w;
+    const Bytes padding(0x3FFF, 0);
+    w.raw(BytesView(padding.data(), padding.size()));
+    CompressionMap offsets;
+    encode_name(name, w, offsets);
+    ASSERT_EQ(offsets.count("edge.example.com"), 1U);
+    EXPECT_EQ(offsets.at("edge.example.com"), 0x3FFF);
+    // "example.com" / "com" start past 0x3FFF: not pointer-addressable.
+    EXPECT_EQ(offsets.count("example.com"), 0U);
+    EXPECT_EQ(offsets.count("com"), 0U);
+
+    const std::size_t second_at = w.size();
+    encode_name(name, w, offsets);
+    EXPECT_EQ(w.size() - second_at, 2U);  // the 0xFFFF pointer, nothing else
+
+    ByteReader r(w.view());
+    ASSERT_TRUE(r.seek(second_at).ok());
+    const auto decoded = decode_name(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), name);
+}
+
+TEST(NameCodecTest, SuffixPastPointerWindowFallsBackUncompressed) {
+    // Everything past 0x3FFF is unaddressable: encoding the same name twice
+    // out there must produce two full (identical-size) encodings, not a
+    // pointer to an offset the wire format cannot express.
+    const auto name = DomainName::parse("far.example.com").value();
+    ByteWriter w;
+    const Bytes padding(0x4000, 0);
+    w.raw(BytesView(padding.data(), padding.size()));
+    CompressionMap offsets;
+    encode_name(name, w, offsets);
+    const std::size_t first_size = w.size() - 0x4000;
+    EXPECT_TRUE(offsets.empty());
+    const std::size_t second_at = w.size();
+    encode_name(name, w, offsets);
+    EXPECT_EQ(w.size() - second_at, first_size);  // full re-encoding
+
+    ByteReader r(w.view());
+    ASSERT_TRUE(r.seek(0x4000).ok());
+    EXPECT_EQ(decode_name(r).value(), name);
+    EXPECT_EQ(decode_name(r).value(), name);
+}
+
+TEST(NameCodecTest, RejectsForwardPointer) {
+    // Pointers may only refer to *prior* data (RFC 1035 §4.1.4); a pointer
+    // at offset 0 aiming past itself must be rejected, not chased.
+    const Bytes forward = {0xC0, 0x10, 0x01, 'a', 0x00};
+    ByteReader r(forward);
+    EXPECT_FALSE(decode_name(r).ok());
+}
+
+TEST(NameCodecTest, PointerChainsHonourHopLimit) {
+    // A chain of backward pointers: each one points at the previous, the
+    // first at a real label. Short chains decode; 17 hops trip the limit.
+    ByteWriter w;
+    w.u8(1);
+    w.raw(std::string_view("a"));
+    w.u8(0);  // "a." at offset 0, 3 bytes
+    for (int i = 0; i < 17; ++i) {
+        const std::size_t target = i == 0 ? 0 : 3 + 2 * static_cast<std::size_t>(i - 1);
+        w.u16(static_cast<std::uint16_t>(0xC000 | target));
+    }
+    {
+        ByteReader r(w.view());
+        ASSERT_TRUE(r.seek(3 + 2 * 4).ok());  // 5 hops: within the limit
+        const auto decoded = decode_name(r);
+        ASSERT_TRUE(decoded.ok());
+        EXPECT_EQ(decoded.value().to_string(), "a");
+    }
+    {
+        ByteReader r(w.view());
+        ASSERT_TRUE(r.seek(3 + 2 * 16).ok());  // 17 hops: one too many
+        EXPECT_FALSE(decode_name(r).ok());
+    }
+}
+
 // ----------------------------------------------------------------- messages
 
 TEST(DnsMessageTest, QueryRoundTrip) {

@@ -271,6 +271,36 @@ TEST(PcapTest, ToleratesTruncatedFinalRecord) {
     EXPECT_EQ(restored.value().size(), 1U);
 }
 
+TEST(PcapTest, OversizedPacketIsTruncatedToSnapLenOnWrite) {
+    // Regression: the writer used to emit incl_len = the full frame size
+    // even past kPcapSnapLen, producing files the reader itself rejected
+    // ("record exceeds snaplen"). The writer now truncates the stored bytes
+    // to the snap length while preserving the true size in orig_len.
+    Packet oversized;
+    oversized.timestamp = SimTime::seconds(1);
+    oversized.data = Bytes(kPcapSnapLen + 1000, 0xAB);
+    Packet normal = make_tcp_frame({1, 2, 3});
+
+    const Bytes file = to_pcap_bytes({oversized, normal});
+    const auto restored = from_pcap_bytes(file);
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(restored.value().size(), 2U);
+    // First record: capped at the snap length, content preserved up to it.
+    EXPECT_EQ(restored.value()[0].data.size(), kPcapSnapLen);
+    EXPECT_EQ(restored.value()[0].data, Bytes(kPcapSnapLen, 0xAB));
+    EXPECT_EQ(restored.value()[0].timestamp, oversized.timestamp);
+    // Records after the oversized one are unaffected.
+    EXPECT_EQ(restored.value()[1].data, normal.data);
+    // orig_len (bytes 12..15 of the record header, little-endian) still
+    // records the untruncated size.
+    const std::size_t record = 24;  // first record header after the global header
+    const std::uint32_t orig_len = static_cast<std::uint32_t>(file[record + 12]) |
+                                   (static_cast<std::uint32_t>(file[record + 13]) << 8) |
+                                   (static_cast<std::uint32_t>(file[record + 14]) << 16) |
+                                   (static_cast<std::uint32_t>(file[record + 15]) << 24);
+    EXPECT_EQ(orig_len, kPcapSnapLen + 1000);
+}
+
 TEST(PcapTest, RejectsGarbageMagic) {
     Bytes file = to_pcap_bytes(sample_packets());
     file[0] ^= 0xFF;

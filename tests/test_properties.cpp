@@ -6,8 +6,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <mutex>
 #include <thread>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -338,6 +341,46 @@ TEST(ThreadPoolTest, ShutdownDrainsAcceptedTasksUnderConcurrentSubmission) {
     EXPECT_EQ(executed_at_shutdown, executed.load());  // nothing runs after shutdown returns
     EXPECT_EQ(executed.load(), accepted.load());
     // The pool destructor (second shutdown) must be a clean no-op.
+}
+
+TEST(ThreadPoolTest, ObserverSeesEveryTaskWithOrderedTimings) {
+    // The profiling observer must fire exactly once per task with a unique
+    // sequence number, monotone enqueue <= start <= finish timestamps, and a
+    // worker index inside the pool.
+    constexpr int kTasks = 50;
+    constexpr std::size_t kWorkers = 3;
+    std::mutex mutex;
+    std::vector<common::ThreadPool::TaskTiming> timings;
+    std::vector<std::future<void>> futures;
+    {
+        common::ThreadPool pool(kWorkers);
+        pool.set_observer([&mutex, &timings](const common::ThreadPool::TaskTiming& timing) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            timings.push_back(timing);
+        });
+        futures.reserve(kTasks);
+        for (int i = 0; i < kTasks; ++i) {
+            futures.push_back(pool.submit([]() {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+            }));
+        }
+        for (auto& future : futures) future.get();
+        // The observer fires *after* the future is satisfied — only shutdown
+        // (joining the workers) guarantees every callback has completed.
+        pool.shutdown();
+    }
+    ASSERT_EQ(timings.size(), static_cast<std::size_t>(kTasks));
+    std::vector<bool> seen(kTasks, false);
+    for (const auto& timing : timings) {
+        ASSERT_LT(timing.sequence, static_cast<std::uint64_t>(kTasks));
+        EXPECT_FALSE(seen[static_cast<std::size_t>(timing.sequence)]) << "duplicate observation";
+        seen[static_cast<std::size_t>(timing.sequence)] = true;
+        EXPECT_LE(timing.enqueue_ns, timing.start_ns);
+        EXPECT_LE(timing.start_ns, timing.finish_ns);
+        EXPECT_LT(timing.worker, kWorkers);
+        EXPECT_GE(timing.queue_wait_ns(), 0);
+        EXPECT_GE(timing.run_ns(), 0);
+    }
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueuedBacklog) {

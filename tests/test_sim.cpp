@@ -205,6 +205,98 @@ TEST(TopologyTest, CaptureCanBePaused) {
     EXPECT_TRUE(bed.capture.empty());  // but is not recorded
 }
 
+TEST(TopologyTest, DnsTotalLossCompletesExactlyOnceAfterBoundedRetries) {
+    // Under 100% resolver loss the client must neither hang (run_all
+    // terminates) nor complete more than once: bounded retries, then a
+    // single failure callback.
+    Testbed bed;
+    bed.cloud.zone().add_a("example.com", Ipv4Address(1, 1, 1, 1));
+    bed.cloud.set_dns_drop_rate(1.0);
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55);
+    int callbacks = 0;
+    std::optional<Ipv4Address> answer = Ipv4Address(9, 9, 9, 9);
+    resolver.resolve("example.com", [&](std::optional<Ipv4Address> address) {
+        ++callbacks;
+        answer = address;
+    });
+    bed.sim.run_all();
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_FALSE(answer.has_value());
+    // Default policy: 3 attempts, 3s apart — the failure lands at 9s.
+    EXPECT_EQ(resolver.queries_sent(), 3U);
+    EXPECT_EQ(bed.sim.now(), SimTime::seconds(9));
+    const auto& metrics = bed.sim.obs().metrics;
+    EXPECT_EQ(metrics.counter_value("dns.queries"), 3U);
+    EXPECT_EQ(metrics.counter_value("dns.retries"), 2U);
+    EXPECT_EQ(metrics.counter_value("dns.timeouts"), 3U);
+    EXPECT_EQ(metrics.counter_value("dns.failures"), 1U);
+    EXPECT_EQ(metrics.counter_value("dns.answers"), 0U);
+}
+
+TEST(TopologyTest, DnsRecoversAfterLossWithSingleCompletion) {
+    // First attempt is dropped; the resolver heals before the retry. The
+    // retry must succeed with exactly one callback.
+    Testbed bed;
+    bed.cloud.zone().add_a("example.com", Ipv4Address(1, 1, 1, 1));
+    bed.cloud.set_dns_drop_rate(1.0);
+    bed.sim.after(SimTime::seconds(1), [&]() { bed.cloud.set_dns_drop_rate(0.0); });
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55);
+    int callbacks = 0;
+    std::optional<Ipv4Address> answer;
+    resolver.resolve("example.com", [&](std::optional<Ipv4Address> address) {
+        ++callbacks;
+        answer = address;
+    });
+    bed.sim.run_all();
+    EXPECT_EQ(callbacks, 1);
+    ASSERT_TRUE(answer.has_value());
+    EXPECT_EQ(*answer, Ipv4Address(1, 1, 1, 1));
+    const auto& metrics = bed.sim.obs().metrics;
+    EXPECT_EQ(metrics.counter_value("dns.queries"), 2U);
+    EXPECT_EQ(metrics.counter_value("dns.retries"), 1U);
+    EXPECT_EQ(metrics.counter_value("dns.timeouts"), 1U);
+    EXPECT_EQ(metrics.counter_value("dns.answers"), 1U);
+    EXPECT_EQ(metrics.counter_value("dns.failures"), 0U);
+}
+
+TEST(TopologyTest, DnsLateAnswersAfterRetriesNeverDoubleComplete) {
+    // The server answers every query, but slower than the retry timeout:
+    // every response is a late duplicate arriving after its attempt was
+    // already retired (and, for the last ones, after the query completed).
+    // None of them may fire the callback a second time.
+    Testbed bed;
+    bed.cloud.zone().add_a("example.com", Ipv4Address(1, 1, 1, 1));
+    DnsClient::Config config;
+    config.timeout = SimTime::millis(20);  // < the ~28ms simulated RTT
+    config.max_attempts = 3;
+    DnsClient resolver(bed.sim, bed.tv, bed.cloud.dns_ip(), 55, config);
+    int callbacks = 0;
+    std::optional<Ipv4Address> answer = Ipv4Address(9, 9, 9, 9);
+    resolver.resolve("example.com", [&](std::optional<Ipv4Address> address) {
+        ++callbacks;
+        answer = address;
+    });
+    bed.sim.run_all();
+    // All three responses did come back over the wire...
+    int dns_responses = 0;
+    for (const auto& packet : bed.capture) {
+        const auto parsed = net::parse_packet(packet);
+        if (parsed && parsed.value().udp &&
+            parsed.value().udp->source_port == dns::kDnsPort) {
+            ++dns_responses;
+        }
+    }
+    EXPECT_EQ(dns_responses, 3);
+    // ...yet each arrived after its attempt was erased: exactly one
+    // completion, and it is the timeout-driven failure.
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_FALSE(answer.has_value());
+    const auto& metrics = bed.sim.obs().metrics;
+    EXPECT_EQ(metrics.counter_value("dns.timeouts"), 3U);
+    EXPECT_EQ(metrics.counter_value("dns.failures"), 1U);
+    EXPECT_EQ(metrics.counter_value("dns.answers"), 0U);
+}
+
 // ---------------------------------------------------------------------- tcp
 
 TEST(TcpTest, HandshakeExchangeAndCloseProduceExpectedSegments) {

@@ -3,11 +3,15 @@
 //   tvacr_audit [--brand samsung|lg] [--country uk|us]
 //               [--scenario idle|linear|fast|ott|hdmi|cast]
 //               [--minutes N] [--seed N] [--jobs N] [--json out.json] [--mitm]
+//               [--metrics m.json] [--trace t.json]
 //
 // Runs an opted-in capture and an opted-out control, identifies the ACR
 // endpoints from traffic alone, geolocates them, reports what the operator
 // learned, and (with --mitm) decomposes the payloads under the lab
-// interception proxy. --json writes the machine-readable report.
+// interception proxy. --json writes the machine-readable report. --metrics
+// writes the merged deterministic metrics (byte-identical for any --jobs);
+// --trace records sim-time spans and writes a Chrome trace_event file
+// (".csv" suffix switches either output to CSV).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +22,7 @@
 #include "core/export.hpp"
 #include "core/matrix_runner.hpp"
 #include "core/mitm_audit.hpp"
+#include "obs/io.hpp"
 
 using namespace tvacr;
 
@@ -27,7 +32,8 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--brand samsung|lg] [--country uk|us]\n"
                  "          [--scenario idle|linear|fast|ott|hdmi|cast]\n"
-                 "          [--minutes N] [--seed N] [--jobs N] [--json out.json] [--mitm]\n",
+                 "          [--minutes N] [--seed N] [--jobs N] [--json out.json] [--mitm]\n"
+                 "          [--metrics m.json] [--trace t.json]\n",
                  argv0);
     return 2;
 }
@@ -39,6 +45,8 @@ int main(int argc, char** argv) {
     config.duration = SimTime::minutes(30);
     config.jobs = core::default_jobs();
     std::string json_path;
+    std::string metrics_path;
+    std::string trace_path;
     bool mitm = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -73,10 +81,15 @@ int main(int argc, char** argv) {
             config.jobs = std::max(1, std::atoi(value.c_str()));
         } else if (key == "--json") {
             json_path = value;
+        } else if (key == "--metrics") {
+            metrics_path = value;
+        } else if (key == "--trace") {
+            trace_path = value;
         } else {
             return usage(argv[0]);
         }
     }
+    config.trace = !trace_path.empty();
 
     std::printf("Auditing %s in %s, scenario %s, %lld min per phase...\n\n",
                 to_string(config.brand).c_str(), to_string(config.country).c_str(),
@@ -103,6 +116,20 @@ int main(int argc, char** argv) {
         }
         file << core::audit_to_json(report) << "\n";
         std::printf("\n(JSON report written to %s)\n", json_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        if (!obs::write_metrics_file(metrics_path, report.metrics)) {
+            std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+            return 1;
+        }
+        std::printf("(metrics written to %s)\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        if (!obs::write_trace_file(trace_path, report.trace)) {
+            std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+            return 1;
+        }
+        std::printf("(trace written to %s)\n", trace_path.c_str());
     }
     return report.confirmed_acr_domains.empty() && config.scenario == tv::Scenario::kLinear ? 1
                                                                                             : 0;

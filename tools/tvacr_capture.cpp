@@ -4,10 +4,12 @@
 //                 [--scenario idle|linear|fast|ott|hdmi|cast]
 //                 [--phase lin-oin|lout-oin|lin-oout|lout-oout]
 //                 [--minutes N] [--seed N] [--out capture.pcap]
-//                 [--format pcap|pcapng]
+//                 [--format pcap|pcapng] [--metrics m.json] [--trace t.json]
 //
 // The produced file opens in Wireshark and feeds straight into
-// tvacr_analyze.
+// tvacr_analyze. --metrics writes the run's deterministic metrics; --trace
+// records sim-time spans as a Chrome trace_event file (".csv" suffix
+// switches either output to CSV).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -15,6 +17,7 @@
 #include "core/experiment.hpp"
 #include "net/pcap.hpp"
 #include "net/pcapng.hpp"
+#include "obs/io.hpp"
 
 using namespace tvacr;
 
@@ -25,7 +28,8 @@ int usage(const char* argv0) {
                  "usage: %s [--brand samsung|lg] [--country uk|us]\n"
                  "          [--scenario idle|linear|fast|ott|hdmi|cast]\n"
                  "          [--phase lin-oin|lout-oin|lin-oout|lout-oout]\n"
-                 "          [--minutes N] [--seed N] [--out capture.pcap]\n",
+                 "          [--minutes N] [--seed N] [--out capture.pcap]\n"
+                 "          [--format pcap|pcapng] [--metrics m.json] [--trace t.json]\n",
                  argv0);
     return 2;
 }
@@ -36,6 +40,8 @@ int main(int argc, char** argv) {
     core::ExperimentSpec spec;
     spec.duration = SimTime::minutes(10);
     std::string out = "capture.pcap";
+    std::string metrics_path;
+    std::string trace_path;
     bool pcapng = false;
 
     for (int i = 1; i + 1 < argc; i += 2) {
@@ -80,10 +86,15 @@ int main(int argc, char** argv) {
         } else if (key == "--format") {
             if (value == "pcapng") pcapng = true;
             else if (value != "pcap") return usage(argv[0]);
+        } else if (key == "--metrics") {
+            metrics_path = value;
+        } else if (key == "--trace") {
+            trace_path = value;
         } else {
             return usage(argv[0]);
         }
     }
+    spec.trace = !trace_path.empty();
 
     std::printf("Running %s for %lld min (seed %llu)...\n", spec.name().c_str(),
                 static_cast<long long>(spec.duration.as_micros() / 60'000'000),
@@ -99,6 +110,22 @@ int main(int argc, char** argv) {
     }
     std::printf("Wrote %zu packets to %s (device ip %s)\n", result.capture.size(), out.c_str(),
                 result.device_ip.to_string().c_str());
+    if (!metrics_path.empty()) {
+        if (!obs::write_metrics_file(metrics_path, result.metrics)) {
+            std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+            return 1;
+        }
+        std::printf("(metrics written to %s)\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        obs::TraceLog log;
+        log.merge_from(result.trace_events, 1, spec.name());
+        if (!obs::write_trace_file(trace_path, log)) {
+            std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+            return 1;
+        }
+        std::printf("(trace written to %s)\n", trace_path.c_str());
+    }
     std::printf("Analyze with: tvacr_analyze %s %s\n", out.c_str(),
                 result.device_ip.to_string().c_str());
     return 0;
