@@ -36,6 +36,7 @@ int main() {
         }
         const auto result = core::ExperimentRunner::run_on(bed, spec);
         const auto trace = core::trace_of(result);
+        // tvacr-lint: allow(no-float-equality) loss iterates literal grid values; 0.0 is exact
         if (loss == 0.0) clean_kb = trace.total_acr_kb;
         std::printf("%7.0f%% %14.1f %14llu %11.2fx\n", loss * 100, trace.total_acr_kb,
                     static_cast<unsigned long long>(bed.cloud().data_segments_dropped()),

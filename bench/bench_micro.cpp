@@ -78,6 +78,7 @@ BENCHMARK(BM_BatchDeserialize);
 
 void BM_MatchServer(benchmark::State& state) {
     static const fp::ContentLibrary* library = [] {
+        // tvacr-lint: allow(no-raw-new-delete) intentionally leaked static; destructor order with gbench
         auto* lib = new fp::ContentLibrary();
         for (const auto& info : fp::builtin_catalog(5)) lib->add(info);
         return lib;

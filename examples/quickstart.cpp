@@ -24,6 +24,7 @@ int main() {
     std::cout << report.render() << "\n";
 
     const bool identified = !report.confirmed_acr_domains.empty();
+    // tvacr-lint: allow(no-float-equality) opted-out KB sums integer byte counts; 0.0 iff none
     const bool optout_works = report.opted_out_acr_kb == 0.0;
     std::cout << "Identified ACR endpoints: " << (identified ? "yes" : "NO") << "\n";
     std::cout << "Opt-out stops ACR traffic: " << (optout_works ? "yes" : "NO") << "\n";

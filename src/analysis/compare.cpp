@@ -14,10 +14,15 @@ std::optional<double> ComparedCell::ratio() const {
     return measured / *reference;
 }
 
+// Absence below is exact: measured cells are integer byte counters scaled to
+// KB, so 0.0 occurs iff no packet was counted.
+// tvacr-lint: allow(no-float-equality) exact-zero encodes "cell absent", not a measured value
 bool ComparedCell::both_absent() const { return !reference && measured == 0.0; }
 
 bool ComparedCell::absence_mismatch() const {
+    // tvacr-lint: allow(no-float-equality) exact-zero encodes "cell absent", not a measured value
     const bool reference_absent = !reference || *reference == 0.0;
+    // tvacr-lint: allow(no-float-equality) exact-zero encodes "cell absent", not a measured value
     const bool measured_absent = measured == 0.0;
     return reference_absent != measured_absent;
 }

@@ -45,6 +45,7 @@ double percentile(std::vector<double> xs, double q) {
 
 double coefficient_of_variation(std::span<const double> xs) {
     const double m = mean(xs);
+    // tvacr-lint: allow(no-float-equality) exact-zero mean guards the division, not a tolerance
     if (m == 0.0) return 0.0;
     return stddev(xs) / m;
 }
@@ -59,6 +60,7 @@ double autocorrelation(std::span<const double> xs, std::size_t lag) {
         den += d * d;
         if (i + lag < xs.size()) num += d * (xs[i + lag] - m);
     }
+    // tvacr-lint: allow(no-float-equality) den is a sum of squares; exactly 0 iff all terms are 0
     if (den == 0.0) return 0.0;
     return num / den;
 }

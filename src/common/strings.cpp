@@ -59,6 +59,7 @@ std::string trim(std::string_view text) {
 }
 
 std::string format_kb(double kilobytes) {
+    // tvacr-lint: allow(no-float-equality) exact zero means "no traffic", rendered as a dash
     if (kilobytes == 0.0) return "-";
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.1f", kilobytes);

@@ -100,6 +100,7 @@ ValidationReport validate_experiment(const ExperimentResult& result) {
             add("ACR traffic present while opted in", acr_kb > 0.0);
         }
     } else {
+        // tvacr-lint: allow(no-float-equality) acr_kb sums integer byte counts; 0.0 iff none
         add("zero ACR traffic after opt-out", acr_kb == 0.0,
             std::to_string(acr_kb) + " KB");
         add("zero fingerprint uploads after opt-out", result.batches_uploaded == 0);

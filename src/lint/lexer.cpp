@@ -1,0 +1,282 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace tvacr::lint {
+namespace {
+
+bool is_ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Cursor over the source with 1-based line/column tracking.
+class Cursor {
+  public:
+    explicit Cursor(std::string_view source) : source_(source) {}
+
+    [[nodiscard]] bool done() const { return pos_ >= source_.size(); }
+    [[nodiscard]] char peek(std::size_t ahead = 0) const {
+        return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+    }
+    [[nodiscard]] std::uint32_t line() const { return line_; }
+    [[nodiscard]] std::uint32_t column() const { return column_; }
+
+    char advance() {
+        const char c = source_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    /// Consumes a backslash-newline splice if one starts here. Returns true
+    /// if a splice was eaten (the caller's construct continues on the next
+    /// physical line, exactly like translation phase 2).
+    bool eat_splice() {
+        if (peek() == '\\' && (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+            advance();  // backslash
+            if (peek() == '\r') advance();
+            advance();  // newline
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    std::string_view source_;
+    std::size_t pos_ = 0;
+    std::uint32_t line_ = 1;
+    std::uint32_t column_ = 1;
+};
+
+// Multi-character punctuators, longest first within each length class.
+constexpr std::array<const char*, 4> kPunct3 = {"<<=", ">>=", "...", "->*"};
+constexpr std::array<const char*, 21> kPunct2 = {"::", "->", "==", "!=", "<=", ">=", "&&",
+                                                 "||", "<<", ">>", "++", "--", "+=", "-=",
+                                                 "*=", "/=", "%=", "^=", "&=", "|=", ".*"};
+
+/// True if the raw-string introducer R" begins at the cursor, allowing for
+/// encoding prefixes (u8R", uR", UR", LR").
+bool at_raw_string(const Cursor& c, std::size_t skip) {
+    return c.peek(skip) == 'R' && c.peek(skip + 1) == '"';
+}
+
+}  // namespace
+
+bool is_float_literal(const std::string& spelling) {
+    if (spelling.empty()) return false;
+    const bool hex =
+        spelling.size() > 1 && spelling[0] == '0' && (spelling[1] == 'x' || spelling[1] == 'X');
+    bool exponent = false;
+    for (std::size_t i = hex ? 2 : 0; i < spelling.size(); ++i) {
+        const char c = spelling[i];
+        if (c == '.') return true;
+        if (!hex && (c == 'e' || c == 'E')) exponent = true;
+        if (hex && (c == 'p' || c == 'P')) exponent = true;
+    }
+    return exponent;
+}
+
+std::vector<Token> lex(std::string_view source) {
+    std::vector<Token> tokens;
+    Cursor cur(source);
+
+    auto start_token = [&](TokenKind kind) {
+        Token token;
+        token.kind = kind;
+        token.line = cur.line();
+        token.column = cur.column();
+        return token;
+    };
+
+    // Consumes the body of an ordinary string/char literal after the opening
+    // quote, honouring escapes; text accumulates into `out`.
+    auto consume_quoted = [&](char quote, std::string& out) {
+        while (!cur.done()) {
+            if (cur.eat_splice()) continue;
+            const char c = cur.advance();
+            out.push_back(c);
+            if (c == '\\' && !cur.done()) {
+                out.push_back(cur.advance());
+                continue;
+            }
+            if (c == quote || c == '\n') break;  // newline: unterminated, recover
+        }
+    };
+
+    bool line_has_only_whitespace = true;  // since last newline; gates # detection
+    while (!cur.done()) {
+        const char c = cur.peek();
+
+        if (c == '\n') {
+            cur.advance();
+            line_has_only_whitespace = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        if (cur.eat_splice()) continue;
+
+        // Preprocessor directive: '#' first on its line; the whole logical
+        // line (continuations spliced) becomes one opaque token.
+        if (c == '#' && line_has_only_whitespace) {
+            Token token = start_token(TokenKind::kPreprocessor);
+            while (!cur.done()) {
+                if (cur.eat_splice()) {
+                    token.text.push_back(' ');
+                    continue;
+                }
+                if (cur.peek() == '\n') break;
+                token.text.push_back(cur.advance());
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        line_has_only_whitespace = false;
+
+        // Comments. A line comment whose physical line ends in a splice
+        // continues onto the next line (phase-2 splicing), which is exactly
+        // the "line-continuation macro" trap the lexer tests pin down.
+        if (c == '/' && cur.peek(1) == '/') {
+            Token token = start_token(TokenKind::kComment);
+            while (!cur.done()) {
+                if (cur.eat_splice()) {
+                    token.text.push_back(' ');
+                    continue;
+                }
+                if (cur.peek() == '\n') break;
+                token.text.push_back(cur.advance());
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            Token token = start_token(TokenKind::kComment);
+            token.text.push_back(cur.advance());
+            token.text.push_back(cur.advance());
+            while (!cur.done()) {
+                if (cur.peek() == '*' && cur.peek(1) == '/') {
+                    token.text.push_back(cur.advance());
+                    token.text.push_back(cur.advance());
+                    break;
+                }
+                token.text.push_back(cur.advance());
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        // Raw strings, with optional encoding prefix. No escape processing
+        // and no splicing inside: the body ends only at )delim".
+        {
+            std::size_t prefix = 0;
+            if (c == 'u' && cur.peek(1) == '8') {
+                prefix = 2;
+            } else if (c == 'u' || c == 'U' || c == 'L') {
+                prefix = 1;
+            }
+            if (at_raw_string(cur, prefix)) {
+                Token token = start_token(TokenKind::kString);
+                for (std::size_t i = 0; i < prefix + 2; ++i) token.text.push_back(cur.advance());
+                std::string delim;
+                while (!cur.done() && cur.peek() != '(') delim.push_back(cur.advance());
+                token.text += delim;
+                const std::string closer = ")" + delim + "\"";
+                std::string body;
+                while (!cur.done()) {
+                    body.push_back(cur.advance());
+                    if (body.size() >= closer.size() &&
+                        body.compare(body.size() - closer.size(), closer.size(), closer) == 0) {
+                        break;
+                    }
+                }
+                token.text += body;
+                tokens.push_back(std::move(token));
+                continue;
+            }
+            // Prefixed ordinary literal (u8"...", L'x', ...): lex the prefix
+            // as part of the literal so rules never see it as an identifier
+            // adjacent to a string.
+            if (prefix > 0 && (cur.peek(prefix) == '"' || cur.peek(prefix) == '\'')) {
+                const char quote = cur.peek(prefix);
+                Token token = start_token(quote == '"' ? TokenKind::kString
+                                                       : TokenKind::kCharLiteral);
+                for (std::size_t i = 0; i < prefix + 1; ++i) token.text.push_back(cur.advance());
+                consume_quoted(quote, token.text);
+                tokens.push_back(std::move(token));
+                continue;
+            }
+        }
+
+        if (c == '"' || c == '\'') {
+            Token token = start_token(c == '"' ? TokenKind::kString : TokenKind::kCharLiteral);
+            token.text.push_back(cur.advance());
+            consume_quoted(c, token.text);
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        if (is_ident_start(c)) {
+            Token token = start_token(TokenKind::kIdentifier);
+            while (!cur.done() && is_ident_char(cur.peek())) token.text.push_back(cur.advance());
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        // pp-number: digits, digit separators, '.', and exponents with signs.
+        if (is_digit(c) || (c == '.' && is_digit(cur.peek(1)))) {
+            Token token = start_token(TokenKind::kNumber);
+            while (!cur.done()) {
+                const char n = cur.peek();
+                if (is_ident_char(n) || n == '.' || n == '\'') {
+                    token.text.push_back(cur.advance());
+                    const bool hex = token.text.size() > 1 && token.text[0] == '0' &&
+                                     (token.text[1] == 'x' || token.text[1] == 'X');
+                    const bool exponent = hex ? (n == 'p' || n == 'P') : (n == 'e' || n == 'E');
+                    if (exponent && (cur.peek() == '+' || cur.peek() == '-')) {
+                        token.text.push_back(cur.advance());
+                    }
+                    continue;
+                }
+                break;
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        // Punctuators, longest match first.
+        Token token = start_token(TokenKind::kPunct);
+        bool matched = false;
+        for (const char* p : kPunct3) {
+            if (cur.peek() == p[0] && cur.peek(1) == p[1] && cur.peek(2) == p[2]) {
+                for (int i = 0; i < 3; ++i) token.text.push_back(cur.advance());
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            for (const char* p : kPunct2) {
+                if (cur.peek() == p[0] && cur.peek(1) == p[1]) {
+                    for (int i = 0; i < 2; ++i) token.text.push_back(cur.advance());
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if (!matched) token.text.push_back(cur.advance());
+        tokens.push_back(std::move(token));
+    }
+    return tokens;
+}
+
+}  // namespace tvacr::lint

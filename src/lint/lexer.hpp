@@ -1,0 +1,23 @@
+// From-scratch C++ lexer for the determinism linter.
+//
+// Scope: token boundaries only. Comments, ordinary and raw string literals,
+// char literals and whole preprocessor lines (with backslash continuations
+// spliced) are isolated so that no rule can ever fire on text inside them.
+// Multi-character operators that the rules reason about ("::", "->", "==",
+// "!=", "<=", ">=", "<<", ">>", ...) are lexed as single tokens; "::" vs ":"
+// in particular is what lets the range-for rule find the range colon.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace tvacr::lint {
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punct tokens and unterminated literals run to end of input, so the linter
+/// degrades gracefully on code it does not fully understand.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace tvacr::lint

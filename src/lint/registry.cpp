@@ -1,0 +1,210 @@
+#include "lint/registry.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "lint/lexer.hpp"
+
+namespace tvacr::lint {
+namespace {
+
+/// One parsed `// tvacr-lint: allow(rule) reason` comment.
+struct Suppression {
+    std::string rule;
+    std::uint32_t comment_line = 0;
+    std::uint32_t target_line = 0;  // line of the next code token (== comment_line if inline)
+    bool used = false;
+};
+
+constexpr std::string_view kMarker = "tvacr-lint:";
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+/// Strips comment decoration: "// ...", "/* ... */".
+std::string_view comment_body(std::string_view text) {
+    if (text.rfind("//", 0) == 0) {
+        text.remove_prefix(2);
+    } else if (text.rfind("/*", 0) == 0) {
+        text.remove_prefix(2);
+        if (text.size() >= 2 && text.substr(text.size() - 2) == "*/") {
+            text.remove_suffix(2);
+        }
+    }
+    return trim(text);
+}
+
+enum class ParseStatus { kNotASuppression, kMalformed, kOk };
+
+ParseStatus parse_suppression(std::string_view text, std::string& rule_out) {
+    // The marker must open the comment body: "code; // tvacr-lint: allow(x) y"
+    // is a suppression, a comment merely *mentioning* the marker (docs,
+    // nested "//" examples) is not.
+    std::string_view body = comment_body(text);
+    if (body.rfind(kMarker, 0) != 0) return ParseStatus::kNotASuppression;
+    body = trim(body.substr(kMarker.size()));
+    if (body.rfind("allow(", 0) != 0) return ParseStatus::kMalformed;
+    body.remove_prefix(6);
+    const auto close = body.find(')');
+    if (close == std::string_view::npos) return ParseStatus::kMalformed;
+    const std::string_view rule = trim(body.substr(0, close));
+    const std::string_view reason = trim(body.substr(close + 1));
+    if (rule.empty() || reason.empty()) return ParseStatus::kMalformed;
+    rule_out.assign(rule);
+    return ParseStatus::kOk;
+}
+
+}  // namespace
+
+bool finding_less(const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.rule, a.message) <
+           std::tie(b.path, b.line, b.rule, b.message);
+}
+
+bool path_under(const std::string& path, const std::string& prefix) {
+    if (prefix.empty()) return false;
+    // A file prefix ("common/thread_pool.") carries its own boundary; a
+    // directory prefix ("src/analysis") must be followed by a path or
+    // extension boundary so "src" never matches "src_backup/".
+    const bool self_bounded = prefix.back() == '/' || prefix.back() == '.';
+    std::size_t at = 0;
+    while ((at = path.find(prefix, at)) != std::string::npos) {
+        const bool starts_component = at == 0 || path[at - 1] == '/';
+        const std::size_t end = at + prefix.size();
+        const bool bounded = self_bounded || end == path.size() || path[end] == '/' ||
+                             path[end] == '.';
+        if (starts_component && bounded) return true;
+        ++at;
+    }
+    return false;
+}
+
+bool Rule::applies_to(const std::string& path) const {
+    for (const auto& exempt : allowlist_) {
+        if (path_under(path, exempt)) return false;
+    }
+    if (scopes_.empty()) return true;
+    return std::any_of(scopes_.begin(), scopes_.end(),
+                       [&](const auto& scope) { return path_under(path, scope); });
+}
+
+Registry Registry::with_builtin_rules() {
+    Registry registry;
+    for (auto& rule : builtin_rules()) registry.add(std::move(rule));
+    return registry;
+}
+
+void Registry::add(std::unique_ptr<Rule> rule) { rules_.push_back(std::move(rule)); }
+
+const Rule* Registry::find(std::string_view name) const {
+    for (const auto& rule : rules_) {
+        if (rule->name() == name) return rule.get();
+    }
+    return nullptr;
+}
+
+std::vector<Finding> Registry::run_file(const std::string& path,
+                                        std::string_view source) const {
+    const std::vector<Token> all_tokens = lex(source);
+
+    // Split the stream: rules only ever see code tokens, so nothing inside a
+    // comment can fire; suppressions are parsed from the comments alone.
+    SourceFile code;
+    code.path = path;
+    std::vector<const Token*> comments;
+    for (const auto& token : all_tokens) {
+        if (token.kind == TokenKind::kComment) {
+            comments.push_back(&token);
+        } else {
+            code.tokens.push_back(token);
+        }
+    }
+
+    std::vector<Finding> findings;
+    std::vector<Suppression> suppressions;
+    for (const Token* comment : comments) {
+        std::string rule_name;
+        switch (parse_suppression(comment->text, rule_name)) {
+            case ParseStatus::kNotASuppression: break;
+            case ParseStatus::kMalformed:
+                findings.push_back({path, comment->line, kMalformedSuppressionRule,
+                                    "unparseable tvacr-lint comment; expected "
+                                    "\"tvacr-lint: allow(<rule>) <reason>\""});
+                break;
+            case ParseStatus::kOk: {
+                if (find(rule_name) == nullptr) {
+                    findings.push_back({path, comment->line, kMalformedSuppressionRule,
+                                        "suppression names unknown rule '" + rule_name + "'"});
+                    break;
+                }
+                Suppression s;
+                s.rule = rule_name;
+                s.comment_line = comment->line;
+                s.target_line = comment->line;
+                for (const auto& token : code.tokens) {  // next code token after the comment
+                    if (token.line > comment->line ||
+                        (token.line == comment->line && token.column > comment->column)) {
+                        s.target_line = token.line;
+                        break;
+                    }
+                }
+                suppressions.push_back(std::move(s));
+                break;
+            }
+        }
+    }
+
+    std::vector<Finding> raw;
+    for (const auto& rule : rules_) {
+        if (rule->applies_to(path)) rule->check(code, raw);
+    }
+
+    for (auto& finding : raw) {
+        bool suppressed = false;
+        for (auto& s : suppressions) {
+            if (s.rule == finding.rule &&
+                (finding.line == s.comment_line || finding.line == s.target_line)) {
+                s.used = true;
+                suppressed = true;
+            }
+        }
+        if (!suppressed) findings.push_back(std::move(finding));
+    }
+    for (const auto& s : suppressions) {
+        if (!s.used) {
+            findings.push_back({path, s.comment_line, kUnusedSuppressionRule,
+                                "suppression for '" + s.rule + "' matched no finding"});
+        }
+    }
+
+    std::sort(findings.begin(), findings.end(), finding_less);
+    // One diagnostic per (rule, line): several probes of one rule can hit the
+    // same statement (e.g. steady_clock::now() trips both the clock-name and
+    // the argless-now() probe).
+    findings.erase(std::unique(findings.begin(), findings.end(),
+                               [](const Finding& a, const Finding& b) {
+                                   return a.path == b.path && a.line == b.line &&
+                                          a.rule == b.rule;
+                               }),
+                   findings.end());
+    return findings;
+}
+
+std::vector<Finding> Registry::run_files(
+    const std::vector<std::pair<std::string, std::string>>& path_and_source) const {
+    std::vector<Finding> merged;
+    for (const auto& [path, source] : path_and_source) {
+        auto found = run_file(path, source);
+        merged.insert(merged.end(), std::make_move_iterator(found.begin()),
+                      std::make_move_iterator(found.end()));
+    }
+    std::sort(merged.begin(), merged.end(), finding_less);
+    return merged;
+}
+
+}  // namespace tvacr::lint

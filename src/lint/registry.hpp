@@ -1,0 +1,57 @@
+// Rule registry and per-file lint driver: scoping, inline suppressions, and
+// the engine-level suppression hygiene checks.
+//
+// Suppression grammar (one comment per rule per site):
+//
+//   // tvacr-lint: allow(<rule-name>) <non-empty reason>
+//
+// A suppression silences findings of <rule-name> on the comment's own line
+// and on the line of the next code token (so it can sit at end-of-line or on
+// its own line above the offending statement). Two hygiene checks are built
+// into the engine rather than the catalogue, and are deliberately not
+// suppressible themselves:
+//
+//   unused-suppression     the comment silenced nothing (stale allow)
+//   malformed-suppression  "tvacr-lint:" comment that does not parse, names
+//                          an unknown rule, or omits the reason
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace tvacr::lint {
+
+inline constexpr const char* kUnusedSuppressionRule = "unused-suppression";
+inline constexpr const char* kMalformedSuppressionRule = "malformed-suppression";
+
+class Registry {
+  public:
+    /// Registry loaded with the builtin catalogue from rules.cpp.
+    [[nodiscard]] static Registry with_builtin_rules();
+
+    void add(std::unique_ptr<Rule> rule);
+
+    [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules() const noexcept {
+        return rules_;
+    }
+    [[nodiscard]] const Rule* find(std::string_view name) const;
+
+    /// Lexes and lints one file. `path` is the display path used in findings
+    /// and for rule scoping; `source` is the file contents. Returned findings
+    /// are suppression-filtered, deduplicated per (rule, line), and sorted.
+    [[nodiscard]] std::vector<Finding> run_file(const std::string& path,
+                                                std::string_view source) const;
+
+    /// Lints many files and returns one merged, sorted finding list.
+    [[nodiscard]] std::vector<Finding> run_files(
+        const std::vector<std::pair<std::string, std::string>>& path_and_source) const;
+
+  private:
+    std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+}  // namespace tvacr::lint

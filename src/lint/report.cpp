@@ -1,0 +1,112 @@
+#include "lint/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "lint/registry.hpp"
+
+namespace tvacr::lint {
+namespace {
+
+/// Minimal JSON string escaping; the linter stays dependency-free, so it
+/// carries its own rather than pulling in the analysis JSON writer.
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                    out += buffer;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string render_text(std::vector<Finding> findings) {
+    std::sort(findings.begin(), findings.end(), finding_less);
+    std::ostringstream out;
+    for (const auto& f : findings) {
+        out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    }
+    if (findings.empty()) {
+        out << "no findings\n";
+    } else {
+        out << findings.size() << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
+    }
+    return out.str();
+}
+
+std::string render_json(std::vector<Finding> findings) {
+    std::sort(findings.begin(), findings.end(), finding_less);
+    std::map<std::string, std::size_t> rule_counts;
+    for (const auto& f : findings) ++rule_counts[f.rule];
+
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"tool\": \"tvacr_lint\",\n";
+    out << "  \"version\": 1,\n";
+    out << "  \"finding_count\": " << findings.size() << ",\n";
+    out << "  \"rule_counts\": {";
+    bool first = true;
+    for (const auto& [rule, count] : rule_counts) {
+        out << (first ? "" : ",") << "\n    \"" << json_escape(rule) << "\": " << count;
+        first = false;
+    }
+    out << (rule_counts.empty() ? "" : "\n  ") << "},\n";
+    out << "  \"findings\": [";
+    first = true;
+    for (const auto& f : findings) {
+        out << (first ? "" : ",") << "\n    {\"path\": \"" << json_escape(f.path)
+            << "\", \"line\": " << f.line << ", \"rule\": \"" << json_escape(f.rule)
+            << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+        first = false;
+    }
+    out << (findings.empty() ? "" : "\n  ") << "]\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string render_rule_list(const Registry& registry) {
+    std::vector<const Rule*> rules;
+    rules.reserve(registry.rules().size());
+    for (const auto& rule : registry.rules()) rules.push_back(rule.get());
+    std::sort(rules.begin(), rules.end(),
+              [](const Rule* a, const Rule* b) { return a->name() < b->name(); });
+
+    std::ostringstream out;
+    for (const Rule* rule : rules) {
+        out << rule->name() << "\n    " << rule->description() << "\n";
+        if (!rule->scopes().empty()) {
+            out << "    scope:";
+            for (const auto& s : rule->scopes()) out << " " << s;
+            out << "\n";
+        }
+        if (!rule->allowlist().empty()) {
+            out << "    allowlist:";
+            for (const auto& a : rule->allowlist()) out << " " << a;
+            out << "\n";
+        }
+    }
+    out << kMalformedSuppressionRule << "\n    engine check: unparseable or unknown-rule "
+        << "tvacr-lint comment (not suppressible)\n";
+    out << kUnusedSuppressionRule << "\n    engine check: allow() comment that silenced "
+        << "nothing (not suppressible)\n";
+    return out.str();
+}
+
+}  // namespace tvacr::lint

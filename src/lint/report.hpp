@@ -1,0 +1,26 @@
+// Text and JSON reporters for lint findings.
+//
+// Both renderers are deterministic: findings are emitted in (path, line,
+// rule, message) order and JSON keys are emitted in a fixed order, so a lint
+// report is itself golden-testable and two reports from different commits
+// diff cleanly (see EXPERIMENTS.md "Diffing lint reports across commits").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace tvacr::lint {
+
+/// One "path:line: [rule] message" line per finding, plus a trailing
+/// summary line; empty-input renders "no findings\n".
+[[nodiscard]] std::string render_text(std::vector<Finding> findings);
+
+/// Stable JSON document: sorted findings array plus per-rule counts.
+[[nodiscard]] std::string render_json(std::vector<Finding> findings);
+
+/// Rule catalogue listing for --list-rules (one rule per line, sorted).
+[[nodiscard]] std::string render_rule_list(const class Registry& registry);
+
+}  // namespace tvacr::lint

@@ -1,0 +1,78 @@
+// Rule model for the determinism linter.
+//
+// A rule is a pure function over a lexed file plus a static scoping policy:
+// `scopes` limits where the rule applies at all (empty = everywhere the
+// linter is pointed), `allowlist` carves out files that are *supposed* to do
+// the flagged thing (e.g. the profiling clock in common/thread_pool.*).
+// Scoping is by path substring so the same rule works for repo-relative CLI
+// paths, absolute paths, and fixture trees that mirror the repo layout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace tvacr::lint {
+
+struct Finding {
+    std::string path;
+    std::uint32_t line = 0;
+    std::string rule;
+    std::string message;
+
+    friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Stable ordering for reports: path, then line, then rule, then message.
+[[nodiscard]] bool finding_less(const Finding& a, const Finding& b);
+
+/// True if `path` falls under `prefix` interpreted as a repo-relative
+/// directory/file prefix: it matches at the start of the path or after any
+/// '/' ("src/common" matches "src/common/rng.cpp" and
+/// "/root/repo/src/common/rng.cpp" but not "tests/src_common.cpp").
+[[nodiscard]] bool path_under(const std::string& path, const std::string& prefix);
+
+class Rule {
+  public:
+    Rule(std::string name, std::string description, std::vector<std::string> scopes,
+         std::vector<std::string> allowlist)
+        : name_(std::move(name)),
+          description_(std::move(description)),
+          scopes_(std::move(scopes)),
+          allowlist_(std::move(allowlist)) {}
+    virtual ~Rule() = default;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::string& description() const noexcept { return description_; }
+    [[nodiscard]] const std::vector<std::string>& scopes() const noexcept { return scopes_; }
+    [[nodiscard]] const std::vector<std::string>& allowlist() const noexcept {
+        return allowlist_;
+    }
+
+    /// True if the rule should run on this file (in scope, not allowlisted).
+    [[nodiscard]] bool applies_to(const std::string& path) const;
+
+    /// Appends findings for `file`; `file.tokens` excludes comments (the
+    /// registry strips them so no rule can fire inside one).
+    virtual void check(const SourceFile& file, std::vector<Finding>& out) const = 0;
+
+  protected:
+    void report(const SourceFile& file, std::uint32_t line, std::string message,
+                std::vector<Finding>& out) const {
+        out.push_back(Finding{file.path, line, name_, std::move(message)});
+    }
+
+  private:
+    std::string name_;
+    std::string description_;
+    std::vector<std::string> scopes_;     // empty = applies everywhere
+    std::vector<std::string> allowlist_;  // exempt path prefixes
+};
+
+/// The determinism/correctness rule catalogue (see DESIGN.md §6).
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> builtin_rules();
+
+}  // namespace tvacr::lint

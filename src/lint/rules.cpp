@@ -1,0 +1,325 @@
+// The determinism/correctness rule catalogue.
+//
+// Every rule here exists to protect one guarantee: simulator output
+// (pcap/metrics/trace bytes) is a pure function of (spec, seed), byte-equal
+// across --jobs 1 and --jobs N. The golden-trace tests check that guarantee
+// dynamically; these rules enforce its preconditions statically, at the
+// source level, so a violation is caught even when no test exercises it.
+// DESIGN.md §6 documents each rule and its allowlist.
+#include <array>
+#include <set>
+#include <string>
+
+#include "lint/rule.hpp"
+
+namespace tvacr::lint {
+namespace {
+
+using Findings = std::vector<Finding>;
+
+const Token* token_at(const SourceFile& file, std::size_t i) {
+    return i < file.tokens.size() ? &file.tokens[i] : nullptr;
+}
+const Token* prev_token(const SourceFile& file, std::size_t i) {
+    return i > 0 ? &file.tokens[i - 1] : nullptr;
+}
+
+bool is_any_of(const Token& token, std::initializer_list<const char*> spellings) {
+    for (const char* s : spellings) {
+        if (token.text == s) return true;
+    }
+    return false;
+}
+
+/// no-wallclock: ambient time sources. Sim code must read time from the
+/// event loop (simulator.now()), never from the host — a wall-clock read is
+/// invisible nondeterminism that changes output across runs and machines.
+/// Member calls obj.now() / ptr->now() are sim-time accessors and exempt.
+class NoWallclockRule final : public Rule {
+  public:
+    NoWallclockRule()
+        : Rule("no-wallclock",
+               "host clocks (system_clock/steady_clock, time(), localtime, qualified or bare "
+               "argless now()) are nondeterministic; read sim-time from the Simulator instead",
+               /*scopes=*/{},
+               /*allowlist=*/{"common/thread_pool.", "core/matrix_runner.cpp"}) {}
+
+    void check(const SourceFile& file, Findings& out) const override {
+        for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+            const Token& token = file.tokens[i];
+            if (token.kind != TokenKind::kIdentifier) continue;
+            if (is_any_of(token, {"system_clock", "steady_clock", "high_resolution_clock"})) {
+                report(file, token.line, "host clock '" + token.text + "'", out);
+                continue;
+            }
+            if (is_any_of(token, {"localtime", "gmtime", "ctime", "asctime", "gettimeofday",
+                                  "clock_gettime", "mktime"})) {
+                report(file, token.line, "wall-clock conversion '" + token.text + "'", out);
+                continue;
+            }
+            const Token* next = token_at(file, i + 1);
+            const Token* prev = prev_token(file, i);
+            if (token.text == "time" && next != nullptr && next->is_punct("(") &&
+                (prev == nullptr || (!prev->is_punct(".") && !prev->is_punct("->")))) {
+                report(file, token.line, "C time() reads the host clock", out);
+                continue;
+            }
+            if (token.text == "now" && next != nullptr && next->is_punct("(")) {
+                const Token* closing = token_at(file, i + 2);
+                if (closing == nullptr || !closing->is_punct(")")) continue;  // has arguments
+                // Member access (.now/->now) is sim-time; an identifier
+                // before `now` means this is a declaration, not a call.
+                if (prev != nullptr &&
+                    (prev->is_punct(".") || prev->is_punct("->") ||
+                     prev->kind == TokenKind::kIdentifier)) {
+                    continue;
+                }
+                // A qualified name followed by const/noexcept/{ is an
+                // out-of-line member definition, also not a call.
+                const Token* after = token_at(file, i + 3);
+                if (after != nullptr &&
+                    (after->is_identifier("const") || after->is_identifier("noexcept") ||
+                     after->is_punct("{"))) {
+                    continue;
+                }
+                report(file, token.line, "argless now() call outside the simulator", out);
+            }
+        }
+    }
+};
+
+/// no-ambient-random: all randomness must flow from the experiment seed via
+/// tvacr::Rng. std::random_device & friends produce run-to-run different
+/// streams, silently breaking (spec, seed) -> bytes reproducibility.
+class NoAmbientRandomRule final : public Rule {
+  public:
+    NoAmbientRandomRule()
+        : Rule("no-ambient-random",
+               "ambient randomness (std::rand, srand, random_device, std engines) is not "
+               "seed-reproducible; draw from tvacr::Rng",
+               /*scopes=*/{},
+               /*allowlist=*/{"common/rng."}) {}
+
+    void check(const SourceFile& file, Findings& out) const override {
+        for (const Token& token : file.tokens) {
+            if (token.kind != TokenKind::kIdentifier) continue;
+            if (is_any_of(token, {"rand", "srand", "rand_r", "random_device", "mt19937",
+                                  "mt19937_64", "minstd_rand", "default_random_engine"})) {
+                report(file, token.line, "ambient random source '" + token.text + "'", out);
+            }
+        }
+    }
+};
+
+/// no-unordered-iteration-in-output: in the layers that emit bytes
+/// (analysis/export/obs/core), a range-for over a hash container leaks
+/// hash-order — which varies with libstdc++ version, seed, and insertion
+/// history — straight into reports. Iterate a std::map or sort first.
+class NoUnorderedIterationRule final : public Rule {
+  public:
+    NoUnorderedIterationRule()
+        : Rule("no-unordered-iteration-in-output",
+               "range-for over unordered_map/unordered_set in output-emitting layers leaks "
+               "hash-order into emitted bytes; use std::map or sort before emitting",
+               /*scopes=*/{"src/analysis", "src/export", "src/obs", "src/core"},
+               /*allowlist=*/{}) {}
+
+    void check(const SourceFile& file, Findings& out) const override {
+        // Pass 1: names declared with an unordered container type in this
+        // file (members and locals; aliases are out of reach for a lexer
+        // and caught by review instead).
+        std::set<std::string> unordered_names;
+        for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+            const Token& token = file.tokens[i];
+            if (!token.is_identifier("unordered_map") && !token.is_identifier("unordered_set") &&
+                !token.is_identifier("unordered_multimap") &&
+                !token.is_identifier("unordered_multiset")) {
+                continue;
+            }
+            std::size_t j = i + 1;
+            const Token* open = token_at(file, j);
+            if (open == nullptr || !open->is_punct("<")) continue;
+            int depth = 0;
+            for (; j < file.tokens.size(); ++j) {
+                const Token& t = file.tokens[j];
+                if (t.is_punct("<")) ++depth;
+                if (t.is_punct(">")) --depth;
+                if (t.is_punct(">>")) depth -= 2;
+                if (depth <= 0) break;
+            }
+            // After the closing '>': skip ref/pointer/cv decoration, then an
+            // identifier is the declared variable name.
+            for (++j; j < file.tokens.size(); ++j) {
+                const Token& t = file.tokens[j];
+                if (t.is_punct("&") || t.is_punct("*") || t.is_punct("&&") ||
+                    t.is_identifier("const")) {
+                    continue;
+                }
+                if (t.kind == TokenKind::kIdentifier) unordered_names.insert(t.text);
+                break;
+            }
+        }
+
+        // Pass 2: range-fors whose range expression mentions an unordered
+        // name (or an unordered container type directly).
+        for (std::size_t i = 0; i + 1 < file.tokens.size(); ++i) {
+            if (!file.tokens[i].is_identifier("for") || !file.tokens[i + 1].is_punct("(")) {
+                continue;
+            }
+            int depth = 0;
+            std::size_t colon = 0;
+            std::size_t close = 0;
+            for (std::size_t j = i + 1; j < file.tokens.size(); ++j) {
+                const Token& t = file.tokens[j];
+                if (t.is_punct("(")) ++depth;
+                if (t.is_punct(")")) {
+                    if (--depth == 0) {
+                        close = j;
+                        break;
+                    }
+                }
+                if (depth == 1 && colon == 0 && t.is_punct(":")) colon = j;
+            }
+            if (colon == 0 || close == 0) continue;  // classic for, or unterminated
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                const Token& t = file.tokens[j];
+                if (t.kind != TokenKind::kIdentifier) continue;
+                if (unordered_names.count(t.text) > 0 || t.text.rfind("unordered_", 0) == 0) {
+                    report(file, file.tokens[i].line,
+                           "range-for over unordered container '" + t.text + "'", out);
+                    break;
+                }
+            }
+        }
+    }
+};
+
+/// no-iostream-in-lib: library code reports through return values and the
+/// obs layer; printing from src/ interleaves nondeterministically under
+/// --jobs N and corrupts tool output contracts. CLIs/benches/tests print.
+class NoIostreamInLibRule final : public Rule {
+  public:
+    NoIostreamInLibRule()
+        : Rule("no-iostream-in-lib",
+               "library code must not print (std::cout/printf/puts); return data or use "
+               "tvacr::obs — stdout from workers interleaves nondeterministically",
+               /*scopes=*/{"src"},
+               /*allowlist=*/{}) {}
+
+    void check(const SourceFile& file, Findings& out) const override {
+        for (const Token& token : file.tokens) {
+            if (token.kind != TokenKind::kIdentifier) continue;
+            if (is_any_of(token, {"cout", "printf", "puts"})) {
+                report(file, token.line, "direct stdout write via '" + token.text + "'", out);
+            }
+        }
+    }
+};
+
+/// no-raw-new-delete: owning raw pointers make worker-lifetime bugs (and
+/// ASan/TSan noise) likely; the codebase is value-and-unique_ptr based.
+class NoRawNewDeleteRule final : public Rule {
+  public:
+    NoRawNewDeleteRule()
+        : Rule("no-raw-new-delete",
+               "raw new/delete; use values, containers, or std::make_unique "
+               "(deleted special members and operator new/delete are exempt)",
+               /*scopes=*/{},
+               /*allowlist=*/{}) {}
+
+    void check(const SourceFile& file, Findings& out) const override {
+        for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+            const Token& token = file.tokens[i];
+            const Token* prev = prev_token(file, i);
+            if (token.is_identifier("new")) {
+                if (prev != nullptr && prev->is_identifier("operator")) continue;
+                report(file, token.line, "raw 'new'", out);
+            } else if (token.is_identifier("delete")) {
+                if (prev != nullptr &&
+                    (prev->is_punct("=") || prev->is_identifier("operator"))) {
+                    continue;  // `= delete` / operator delete declaration
+                }
+                report(file, token.line, "raw 'delete'", out);
+            }
+        }
+    }
+};
+
+/// pragma-once-required: every header guards itself the same way; a missing
+/// guard breaks unity/jumbo builds and double-definition hygiene.
+class PragmaOnceRequiredRule final : public Rule {
+  public:
+    PragmaOnceRequiredRule()
+        : Rule("pragma-once-required", "headers must start with #pragma once",
+               /*scopes=*/{}, /*allowlist=*/{}) {}
+
+    void check(const SourceFile& file, Findings& out) const override {
+        const auto& path = file.path;
+        const bool header =
+            path.ends_with(".hpp") || path.ends_with(".h") || path.ends_with(".hh");
+        if (!header) return;
+        for (const Token& token : file.tokens) {
+            if (token.kind != TokenKind::kPreprocessor) continue;
+            // Normalize "#  pragma   once".
+            std::string collapsed;
+            for (const char c : token.text) {
+                if (c == ' ' || c == '\t') {
+                    if (!collapsed.empty() && collapsed.back() != ' ') collapsed.push_back(' ');
+                } else {
+                    collapsed.push_back(c);
+                }
+            }
+            if (collapsed == "#pragma once" || collapsed == "# pragma once") return;
+        }
+        report(file, 1, "header lacks #pragma once", out);
+    }
+};
+
+/// no-float-equality: == / != against a floating literal is almost always a
+/// rounding bug; exact-sentinel comparisons must be suppressed with a reason
+/// so the intent is recorded next to the comparison.
+class NoFloatEqualityRule final : public Rule {
+  public:
+    NoFloatEqualityRule()
+        : Rule("no-float-equality",
+               "==/!= against a floating-point literal; compare with a tolerance, or suppress "
+               "with a reason for exact-sentinel checks",
+               /*scopes=*/{}, /*allowlist=*/{}) {}
+
+    void check(const SourceFile& file, Findings& out) const override {
+        for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+            const Token& token = file.tokens[i];
+            if (!token.is_punct("==") && !token.is_punct("!=")) continue;
+            const Token* prev = prev_token(file, i);
+            const Token* next = token_at(file, i + 1);
+            // Allow one unary sign between the operator and the literal.
+            if (next != nullptr && (next->is_punct("-") || next->is_punct("+"))) {
+                next = token_at(file, i + 2);
+            }
+            const bool lhs_float = prev != nullptr && prev->kind == TokenKind::kNumber &&
+                                   is_float_literal(prev->text);
+            const bool rhs_float = next != nullptr && next->kind == TokenKind::kNumber &&
+                                   is_float_literal(next->text);
+            if (lhs_float || rhs_float) {
+                report(file, token.line,
+                       "floating-point literal compared with '" + token.text + "'", out);
+            }
+        }
+    }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> builtin_rules() {
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<NoWallclockRule>());
+    rules.push_back(std::make_unique<NoAmbientRandomRule>());
+    rules.push_back(std::make_unique<NoUnorderedIterationRule>());
+    rules.push_back(std::make_unique<NoIostreamInLibRule>());
+    rules.push_back(std::make_unique<NoRawNewDeleteRule>());
+    rules.push_back(std::make_unique<PragmaOnceRequiredRule>());
+    rules.push_back(std::make_unique<NoFloatEqualityRule>());
+    return rules;
+}
+
+}  // namespace tvacr::lint

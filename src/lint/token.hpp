@@ -1,0 +1,56 @@
+// Token model for the determinism linter's from-scratch C++ lexer.
+//
+// The lexer does not try to be a compiler front-end: it only needs to be
+// precise about the boundaries that decide whether a rule may fire at all —
+// comments, string/char literals (including raw strings), and preprocessor
+// lines. Everything else is classified just far enough for the rule
+// catalogue in rules.cpp to pattern-match token sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tvacr::lint {
+
+enum class TokenKind : std::uint8_t {
+    kIdentifier,    // identifiers and keywords (rules match on spelling)
+    kNumber,        // integer and floating literals, suffixes included
+    kString,        // "...", R"(...)", prefixed variants
+    kCharLiteral,   // '...'
+    kPunct,         // operators and punctuation; "::", "->", "==" are single tokens
+    kComment,       // // and /* */; carries the full text for suppression parsing
+    kPreprocessor,  // one whole # line, continuations spliced; rules never look inside
+};
+
+struct Token {
+    TokenKind kind = TokenKind::kPunct;
+    std::string text;
+    std::uint32_t line = 0;    // 1-based, line where the token starts
+    std::uint32_t column = 0;  // 1-based byte column
+
+    [[nodiscard]] bool is(TokenKind k, const char* spelling) const {
+        return kind == k && text == spelling;
+    }
+    [[nodiscard]] bool is_identifier(const char* spelling) const {
+        return is(TokenKind::kIdentifier, spelling);
+    }
+    [[nodiscard]] bool is_punct(const char* spelling) const {
+        return is(TokenKind::kPunct, spelling);
+    }
+};
+
+/// A lexed translation unit as the rules see it. `path` is the display path
+/// used in findings and for per-rule scoping; callers choose its form (the
+/// CLI passes paths as given on the command line, tests pass fixture-relative
+/// paths so golden reports are machine-independent).
+struct SourceFile {
+    std::string path;
+    std::vector<Token> tokens;  // all tokens, comments included, in order
+};
+
+/// True for a floating-point literal spelling ("1.0", ".5f", "1e-9",
+/// "0x1p3"); false for integer literals ("42", "0xFF", "1'000").
+[[nodiscard]] bool is_float_literal(const std::string& spelling);
+
+}  // namespace tvacr::lint

@@ -1,6 +1,7 @@
 #include "net/flow.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "common/rng.hpp"
 
@@ -67,8 +68,16 @@ const FlowStats* FlowTable::find(const FiveTuple& key) const {
 
 std::vector<std::pair<FiveTuple, FlowStats>> FlowTable::sorted_by_bytes() const {
     std::vector<std::pair<FiveTuple, FlowStats>> out(flows_.begin(), flows_.end());
-    std::sort(out.begin(), out.end(),
-              [](const auto& a, const auto& b) { return a.second.bytes > b.second.bytes; });
+    // Tie-break on the 5-tuple: without it, equal-byte flows surface in
+    // unordered_map hash order and that order reaches rendered reports.
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        if (a.second.bytes != b.second.bytes) return a.second.bytes > b.second.bytes;
+        const auto key = [](const FiveTuple& t) {
+            return std::tuple(t.source.value(), t.destination.value(), t.source_port,
+                              t.destination_port, static_cast<int>(t.protocol));
+        };
+        return key(a.first) < key(b.first);
+    });
     return out;
 }
 

@@ -1,0 +1,14 @@
+// Fixture: no-ambient-random must fire on unseeded randomness sources.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int jitter() {
+    std::random_device entropy;        // fires: random_device
+    std::mt19937 engine(entropy());    // fires: mt19937
+    std::srand(42);                    // fires: srand
+    return std::rand() + static_cast<int>(engine());  // fires: rand
+}
+
+}  // namespace fixture

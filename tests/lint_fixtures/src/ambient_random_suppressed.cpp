@@ -1,0 +1,12 @@
+// Fixture: suppressed ambient randomness.
+#include <random>
+
+namespace fixture {
+
+unsigned seed_material() {
+    // tvacr-lint: allow(no-ambient-random) one-shot seed for an interactive demo, not an experiment
+    std::random_device entropy;
+    return entropy();
+}
+
+}  // namespace fixture

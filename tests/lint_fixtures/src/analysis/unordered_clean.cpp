@@ -1,0 +1,29 @@
+// Fixture: patterns the unordered-iteration rule must NOT flag — ordered
+// iteration, lookup-only unordered use, and sort-before-emit.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::string render() {
+    std::map<std::string, int> ordered;
+    std::unordered_map<std::string, int> index;
+    index["acr.example"] = 1;
+    ordered["acr.example"] = 1;
+
+    std::string out;
+    for (const auto& [domain, count] : ordered) {  // std::map: deterministic order
+        out += domain + "=" + std::to_string(count);
+    }
+    if (index.find("acr.example") != index.end()) out += "!";  // lookup only: fine
+
+    std::vector<std::pair<std::string, int>> rows(index.begin(), index.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& row : rows) out += row.first;  // sorted copy: fine
+    return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: no-unordered-iteration-in-output must fire — this file sits
+// under src/analysis, where iteration order reaches emitted bytes.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::string render() {
+    std::unordered_map<std::string, int> by_domain;
+    std::unordered_set<int> ports;
+    by_domain["acr.example"] = 1;
+    std::string out;
+    for (const auto& [domain, count] : by_domain) {  // fires: hash-order reaches `out`
+        out += domain + "=" + std::to_string(count) + "\n";
+    }
+    for (const int port : ports) {  // fires
+        out += std::to_string(port);
+    }
+    return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: suppressed unordered iteration (order provably cancels out).
+#include <unordered_map>
+
+namespace fixture {
+
+long total(const std::unordered_map<int, long>& counters) {
+    long sum = 0;
+    // tvacr-lint: allow(no-unordered-iteration-in-output) commutative sum; order cannot reach output
+    for (const auto& [key, value] : counters) sum += value;
+    return sum;
+}
+
+}  // namespace fixture

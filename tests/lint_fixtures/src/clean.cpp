@@ -1,0 +1,31 @@
+// Fixture: a fully clean translation unit — no rule may fire here. Exercises
+// the lexer's tricky corners at the same time: raw strings, continuation
+// macros and comment-lookalikes inside literals must all stay inert.
+#include <map>
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+// The raw string contains every trigger spelling; none may fire.
+const char* kTraps = R"lint(
+    system_clock::now(); std::rand(); new int; delete p;
+    for (auto& kv : unordered_map) {} std::cout << x == 0.0;
+)lint";
+
+const char* kLineComment = "// not a comment, just a string";
+const char* kBlockComment = "/* also just a string */";
+
+/* A block comment mentioning std::rand() and time(nullptr) stays inert. */
+
+std::string join(const std::map<std::string, int>& cells) {
+    std::string out;
+    for (const auto& [key, value] : cells) {  // ordered map: deterministic
+        out += key + "=" + std::to_string(value) + ";";
+    }
+    return out;
+}
+
+std::unique_ptr<int> box(int v) { return std::make_unique<int>(v); }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: a fully clean header — no rule may fire here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Row {
+    std::string domain;
+    double kilobytes = 0.0;
+};
+
+[[nodiscard]] inline std::vector<Row> empty_table() { return {}; }
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: mirrors the real allowlist entry common/rng.* — the one place
+// allowed to touch ambient entropy sources without a suppression.
+#include <random>
+
+namespace fixture {
+
+unsigned bootstrap_entropy() {
+    std::random_device entropy;  // allowlisted, no finding
+    return entropy();
+}
+
+}  // namespace fixture

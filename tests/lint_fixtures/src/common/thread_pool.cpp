@@ -1,0 +1,12 @@
+// Fixture: mirrors the real allowlist entry common/thread_pool.* — the
+// profiling clock here is permitted without a suppression comment.
+#include <chrono>
+
+namespace fixture {
+
+long queue_wait_ns() {
+    const auto epoch = std::chrono::steady_clock::now();  // allowlisted, no finding
+    return static_cast<long>(epoch.time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: no-float-equality must fire on ==/!= against float literals.
+namespace fixture {
+
+bool checks(double measured, float ratio) {
+    const bool a = measured == 0.5;   // fires
+    const bool b = 1.0e-3 != ratio;   // fires (literal on the left)
+    const bool c = measured == -2.5;  // fires (signed literal)
+    const bool d = ratio == 3;        // integer literal: no finding
+    return a || b || c || d;
+}
+
+}  // namespace fixture

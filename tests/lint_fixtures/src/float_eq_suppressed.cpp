@@ -1,0 +1,9 @@
+// Fixture: suppressed exact-sentinel float comparison.
+namespace fixture {
+
+bool is_absent(double kilobytes) {
+    // tvacr-lint: allow(no-float-equality) exact-zero sentinel: counter sums are integral
+    return kilobytes == 0.0;
+}
+
+}  // namespace fixture

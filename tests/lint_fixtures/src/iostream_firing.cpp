@@ -1,0 +1,13 @@
+// Fixture: no-iostream-in-lib must fire on direct stdout writes from src/.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void debug_dump(int value) {
+    std::cout << "value=" << value << "\n";  // fires: cout
+    std::printf("value=%d\n", value);        // fires: printf
+    std::puts("done");                       // fires: puts
+}
+
+}  // namespace fixture

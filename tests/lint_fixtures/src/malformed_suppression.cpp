@@ -1,0 +1,19 @@
+// Fixture: broken tvacr-lint comments — malformed-suppression fires on each.
+namespace fixture {
+
+int a() {
+    // tvacr-lint: allow(no-walclock) typo in the rule name
+    return 1;
+}
+
+int b() {
+    // tvacr-lint: allow(no-wallclock)
+    return 2;  // missing reason above
+}
+
+int c() {
+    // tvacr-lint: please ignore this file
+    return 3;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: header without #pragma once — pragma-once-required fires (line 1).
+#ifndef FIXTURE_MISSING_PRAGMA_ONCE_H
+#define FIXTURE_MISSING_PRAGMA_ONCE_H
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif

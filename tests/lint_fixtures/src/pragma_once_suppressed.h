@@ -1,0 +1,9 @@
+// tvacr-lint: allow(pragma-once-required) legacy include-guard header kept for ABI doc example
+#ifndef FIXTURE_PRAGMA_ONCE_SUPPRESSED_H
+#define FIXTURE_PRAGMA_ONCE_SUPPRESSED_H
+
+namespace fixture {
+inline int answer() { return 7; }
+}  // namespace fixture
+
+#endif

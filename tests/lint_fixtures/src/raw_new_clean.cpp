@@ -1,0 +1,19 @@
+// Fixture: deleted special members and "new" in comments/strings must not
+// trip no-raw-new-delete.
+#include <memory>
+
+namespace fixture {
+
+class Pinned {
+  public:
+    Pinned() = default;
+    Pinned(const Pinned&) = delete;             // deleted copy: no finding
+    Pinned& operator=(const Pinned&) = delete;  // deleted assign: no finding
+};
+
+// Wait for the new band to settle before switching (comment "new": fine).
+const char* kHint = "allocate with new only in fixtures";
+
+std::unique_ptr<Pinned> make() { return std::make_unique<Pinned>(); }
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: no-raw-new-delete must fire on owning raw pointers.
+namespace fixture {
+
+struct Node {
+    int value = 0;
+};
+
+int roundtrip() {
+    Node* node = new Node();  // fires: raw new
+    const int v = node->value;
+    delete node;  // fires: raw delete
+    return v;
+}
+
+}  // namespace fixture

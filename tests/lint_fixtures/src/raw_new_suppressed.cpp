@@ -1,0 +1,14 @@
+// Fixture: suppressed raw new/delete (deliberate leak-to-exit pattern).
+namespace fixture {
+
+struct Registry {
+    int entries = 0;
+};
+
+Registry& global_registry() {
+    // tvacr-lint: allow(no-raw-new-delete) leaked-on-purpose singleton; avoids destructor-order UB
+    static Registry* instance = new Registry();
+    return *instance;
+}
+
+}  // namespace fixture

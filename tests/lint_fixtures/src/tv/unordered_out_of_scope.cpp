@@ -1,0 +1,14 @@
+// Fixture: same pattern as unordered_firing.cpp but under src/tv, which is
+// outside the rule's output-emitting scope — no finding expected.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+int poll(const std::unordered_map<std::string, int>& services) {
+    int alive = 0;
+    for (const auto& [name, state] : services) alive += state;  // out of scope
+    return alive;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: a stale allow() that silences nothing — unused-suppression fires.
+namespace fixture {
+
+int identity(int x) {
+    // tvacr-lint: allow(no-wallclock) leftover from a removed profiling block
+    return x;
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: sim-time access patterns that no-wallclock must NOT flag —
+// member calls are simulator time, and `SimTime now()` is a declaration.
+namespace fixture {
+
+struct SimTime {
+    long micros = 0;
+};
+
+class Simulator {
+  public:
+    SimTime now() const { return now_; }  // declaration, not a wall-clock call
+
+  private:
+    SimTime now_;
+};
+
+long elapsed(const Simulator& sim, const Simulator* other) {
+    const SimTime a = sim.now();      // member call: sim-time, allowed
+    const SimTime b = other->now();   // member call: sim-time, allowed
+    return b.micros - a.micros;
+}
+
+// "system_clock::now()" inside a string and a comment must never fire.
+const char* kDoc = "call system_clock::now() for wall time";
+
+}  // namespace fixture

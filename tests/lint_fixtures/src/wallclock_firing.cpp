@@ -1,0 +1,18 @@
+// Fixture: no-wallclock must fire on every host-clock access pattern.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long wall_epoch() {
+    auto tp = std::chrono::system_clock::now();            // fires: system_clock (+ argless now)
+    auto mono = std::chrono::steady_clock::now();          // fires: steady_clock
+    std::time_t t = time(nullptr);                         // fires: C time()
+    std::tm* local = std::localtime(&t);                   // fires: localtime
+    (void)tp;
+    (void)mono;
+    (void)local;
+    return static_cast<long>(t);
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: a suppressed wall-clock read (inline and standalone forms).
+#include <chrono>
+
+namespace fixture {
+
+long profiled() {
+    auto t0 = std::chrono::steady_clock::now();  // tvacr-lint: allow(no-wallclock) profiling span, never reaches emitted bytes
+    // tvacr-lint: allow(no-wallclock) profiling span, never reaches emitted bytes
+    auto t1 = std::chrono::steady_clock::now();
+    return static_cast<long>((t1 - t0).count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,147 @@
+// tvacr_lint — static determinism linter for the tvacr tree.
+//
+//   tvacr_lint [--format text|json] [--out FILE] [--list-rules] <paths...>
+//
+// Paths may be files or directories; directories are walked recursively for
+// C++ sources (.cpp/.cc/.cxx/.hpp/.h/.hh), skipping build trees and the
+// linter's own rule fixtures (tests/lint_fixtures/, which fire on purpose).
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error. The file list is
+// sorted before linting so reports are byte-stable across filesystems.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/registry.hpp"
+#include "lint/report.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: tvacr_lint [--format text|json] [--out FILE] [--list-rules] <paths...>\n";
+
+bool lintable_extension(const fs::path& path) {
+    const std::string ext = path.extension().string();
+    return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" || ext == ".h" ||
+           ext == ".hh";
+}
+
+bool skipped_directory(const fs::path& path) {
+    const std::string name = path.filename().string();
+    return name == "build" || name == "lint_fixtures" || (!name.empty() && name[0] == '.');
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& roots,
+                                       std::string& error) {
+    std::vector<std::string> files;
+    for (const auto& root : roots) {
+        std::error_code ec;
+        const fs::file_status status = fs::status(root, ec);
+        if (ec || status.type() == fs::file_type::not_found) {
+            error = "tvacr_lint: cannot read '" + root + "'";
+            return {};
+        }
+        if (fs::is_regular_file(status)) {
+            files.push_back(root);  // explicit files are linted regardless of extension
+            continue;
+        }
+        fs::recursive_directory_iterator it(root, fs::directory_options::skip_permission_denied,
+                                            ec);
+        for (const auto end = fs::recursive_directory_iterator(); it != end;
+             it.increment(ec)) {
+            if (ec) break;
+            if (it->is_directory() && skipped_directory(it->path())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && lintable_extension(it->path())) {
+                files.push_back(it->path().generic_string());
+            }
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string format = "text";
+    std::string out_path;
+    bool list_rules = false;
+    std::vector<std::string> roots;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--format" && i + 1 < argc) {
+            format = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "tvacr_lint: unknown option '" << arg << "'\n" << kUsage;
+            return 2;
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (format != "text" && format != "json") {
+        std::cerr << "tvacr_lint: --format must be text or json\n";
+        return 2;
+    }
+
+    const auto registry = tvacr::lint::Registry::with_builtin_rules();
+    if (list_rules) {
+        std::cout << tvacr::lint::render_rule_list(registry);
+        return 0;
+    }
+    if (roots.empty()) {
+        std::cerr << kUsage;
+        return 2;
+    }
+
+    std::string error;
+    const std::vector<std::string> files = collect_files(roots, error);
+    if (!error.empty()) {
+        std::cerr << error << "\n";
+        return 2;
+    }
+
+    std::vector<std::pair<std::string, std::string>> sources;
+    sources.reserve(files.size());
+    for (const auto& file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            std::cerr << "tvacr_lint: cannot read '" << file << "'\n";
+            return 2;
+        }
+        std::ostringstream content;
+        content << in.rdbuf();
+        sources.emplace_back(file, content.str());
+    }
+
+    const std::vector<tvacr::lint::Finding> findings = registry.run_files(sources);
+    const std::string report = format == "json" ? tvacr::lint::render_json(findings)
+                                                : tvacr::lint::render_text(findings);
+    if (out_path.empty()) {
+        std::cout << report;
+    } else {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::cerr << "tvacr_lint: cannot write '" << out_path << "'\n";
+            return 2;
+        }
+        out << report;
+    }
+    return findings.empty() ? 0 : 1;
+}
