@@ -1,10 +1,12 @@
-// Loss-sensitivity ablation: how path loss inflates measured ACR volume.
+// Loss-sensitivity ablation: how access-link loss inflates measured ACR
+// volume.
 //
 // The paper measures byte counts on a clean lab network; on a lossy access
 // link, TCP retransmissions inflate exactly the high-volume fingerprint
-// flows. This bench sweeps loss rates on the LG fingerprint route and
-// reports the measured KB and retransmission counts — quantifying how much
-// headroom a traffic-volume heuristic needs in the wild.
+// flows. This bench sweeps frame-loss rates on the wifi link through the
+// tvacr::fault impairment model and reports the measured KB, dropped frames,
+// and retransmission counts — quantifying how much headroom a
+// traffic-volume heuristic needs in the wild.
 #include <cstdio>
 #include <iostream>
 
@@ -15,9 +17,10 @@ using namespace tvacr;
 
 int main() {
     const SimTime duration = std::min(bench::bench_duration(), SimTime::minutes(20));
-    std::cout << "ACR volume vs path loss (LG / UK / Linear, "
+    std::cout << "ACR volume vs access-link loss (LG / UK / Linear, "
               << duration.as_seconds() / 60 << " min):\n\n";
-    std::printf("%8s %14s %14s %12s\n", "loss", "ACR KB", "dropped segs", "vs clean");
+    std::printf("%8s %14s %14s %14s %12s\n", "loss", "ACR KB", "dropped frames", "retransmits",
+                "vs clean");
 
     double clean_kb = 0.0;
     for (const double loss : {0.0, 0.01, 0.03, 0.06}) {
@@ -27,19 +30,16 @@ int main() {
         spec.scenario = tv::Scenario::kLinear;
         spec.duration = duration;
         spec.seed = 2024;
+        spec.faults.loss = loss;
 
-        core::Testbed bed(core::ExperimentRunner::testbed_config(spec));
-        for (const auto& domain : bed.tv().acr().domain_names()) {
-            if (const auto address = bed.address_of(domain)) {
-                bed.cloud().set_route_loss(*address, loss);
-            }
-        }
-        const auto result = core::ExperimentRunner::run_on(bed, spec);
+        const auto result = core::ExperimentRunner::run(spec);
         const auto trace = core::trace_of(result);
         // tvacr-lint: allow(no-float-equality) loss iterates literal grid values; 0.0 is exact
         if (loss == 0.0) clean_kb = trace.total_acr_kb;
-        std::printf("%7.0f%% %14.1f %14llu %11.2fx\n", loss * 100, trace.total_acr_kb,
-                    static_cast<unsigned long long>(bed.cloud().data_segments_dropped()),
+        std::printf("%7.0f%% %14.1f %14llu %14llu %11.2fx\n", loss * 100, trace.total_acr_kb,
+                    static_cast<unsigned long long>(result.metrics.counter_value("link.dropped")),
+                    static_cast<unsigned long long>(
+                        result.metrics.counter_value("tcp.retransmits")),
                     clean_kb > 0 ? trace.total_acr_kb / clean_kb : 0.0);
     }
     std::cout << "\nRetransmissions inflate the byte counts modestly; the scenario ordering\n"

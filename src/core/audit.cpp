@@ -23,6 +23,7 @@ AuditReport AuditPipeline::run(const AuditConfig& config) {
     opted_in.duration = config.duration;
     opted_in.seed = config.seed;
     opted_in.trace = config.trace;
+    opted_in.faults = config.faults;
 
     // Opted-out control run, overlapped with the opted-in capture when the
     // config allows a second job.

@@ -27,6 +27,9 @@ struct AuditConfig {
     int jobs = 1;
     /// Record sim-time trace spans during both runs (--trace).
     bool trace = false;
+    /// Impairment scenario applied to both the opted-in capture and the
+    /// opted-out control (--faults).
+    fault::FaultSpec faults;
 };
 
 struct DomainGeolocation {

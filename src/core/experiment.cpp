@@ -25,6 +25,7 @@ TestbedConfig ExperimentRunner::testbed_config(const ExperimentSpec& spec) {
     // The rotating domain number varies between experiments, as observed.
     config.domain_rotation = static_cast<int>(derive_seed(config.seed, 0x207) % 10);
     config.trace = spec.trace;
+    config.faults = spec.faults;
     return config;
 }
 

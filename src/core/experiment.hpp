@@ -25,6 +25,10 @@ struct ExperimentSpec {
     /// Record sim-time trace spans (DNS, TCP, ACR) during the run. Off by
     /// default: counters are always collected, spans only on request.
     bool trace = false;
+    /// Network impairment scenario for the testbed's Wi-Fi link. Not part of
+    /// name(), so impaired runs of a cell overwrite the same artifact slots
+    /// as clean runs rather than multiplying the output tree.
+    fault::FaultSpec faults;
 
     [[nodiscard]] std::string name() const;
 };

@@ -38,6 +38,7 @@ std::vector<ExperimentSpec> MatrixRunner::expand(const MatrixSpec& matrix) {
                     spec.duration = matrix.duration;
                     spec.seed = matrix.seed;
                     spec.trace = matrix.trace;
+                    spec.faults = matrix.faults;
                     specs.push_back(spec);
                 }
             }

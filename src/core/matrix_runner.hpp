@@ -32,6 +32,9 @@ struct MatrixSpec {
     std::uint64_t seed = 42;
     /// Propagated to every expanded spec: record sim-time trace spans.
     bool trace = false;
+    /// Propagated to every expanded spec: the impairment scenario all cells
+    /// run under (default: clean links).
+    fault::FaultSpec faults;
 };
 
 class MatrixRunner {

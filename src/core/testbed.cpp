@@ -25,6 +25,23 @@ Testbed::Testbed(const TestbedConfig& config) : config_(config) {
         sim::LatencyModel{SimTime::millis(2), SimTime::micros(400)},
         derive_seed(config.seed, 0xA9));
     access_point_->set_cloud(*cloud_);
+    if (config.faults.enabled()) {
+        // One Wi-Fi link per testbed; the link id mirrors the AP MAC suffix
+        // so fleets sharing one seed still get independent RNG substreams.
+        impairment_ = std::make_unique<fault::ImpairmentModel>(
+            config.faults, config.seed, 0xA900ULL + static_cast<std::uint64_t>(config.brand));
+        impairment_->bind(simulator_.obs().metrics);
+        access_point_->set_impairment(impairment_.get());
+        cloud_->set_impairment(impairment_.get());
+        if (!config.faults.dns_outages.empty()) {
+            // A DNS failure window only bites the primary resolver; give the
+            // TV a live secondary so its failover path decides the outcome.
+            const net::Ipv4Address secondary(149, 112, 112, 112);
+            cloud_->add_dns_server(secondary);
+            cloud_->add_route(secondary,
+                              sim::LatencyModel{SimTime::millis(9), SimTime::millis(2)});
+        }
+    }
     access_point_->set_capturing(config.capture);
     access_point_->set_tap([this](const net::Packet& packet) { capture_.push_back(packet); });
     if (config.mitm) {
@@ -50,6 +67,9 @@ Testbed::Testbed(const TestbedConfig& config) : config_(config) {
     tv_config.ip = net::Ipv4Address(192, 168, 4, 23);
     tv_config.logged_in = config.logged_in;
     tv_config.domain_rotation = config.domain_rotation;
+    if (config.faults.enabled() && !config.faults.dns_outages.empty()) {
+        tv_config.dns.fallback_resolvers.push_back(net::Ipv4Address(149, 112, 112, 112));
+    }
     tv_ = std::make_unique<tv::SmartTv>(simulator_, *access_point_, *cloud_, *backend_, library_,
                                         tv_config);
     plug_ = std::make_unique<sim::SmartPlug>(simulator_, *tv_);

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/impairment.hpp"
 #include "fp/library.hpp"
 #include "geo/ground_truth.hpp"
 #include "sim/access_point.hpp"
@@ -34,6 +35,9 @@ struct TestbedConfig {
     /// Enables the lab TLS-interception proxy (paper §6 future work): the
     /// AP records application plaintext alongside the black-box capture.
     bool mitm = false;
+    /// Network impairment scenario. Default (disabled) leaves every code
+    /// path byte-identical to an unimpaired testbed.
+    fault::FaultSpec faults;
 };
 
 class Testbed {
@@ -69,6 +73,9 @@ class Testbed {
     /// Registered server address for a domain name, if any.
     [[nodiscard]] std::optional<net::Ipv4Address> address_of(const std::string& domain) const;
 
+    /// The impairment model in effect, or nullptr on a clean testbed.
+    [[nodiscard]] fault::ImpairmentModel* impairment() noexcept { return impairment_.get(); }
+
   private:
     void populate_internet();
     void register_server(const std::string& domain, const geo::City& city,
@@ -76,6 +83,7 @@ class Testbed {
 
     TestbedConfig config_;
     sim::Simulator simulator_;
+    std::unique_ptr<fault::ImpairmentModel> impairment_;
     std::unique_ptr<sim::Cloud> cloud_;
     std::unique_ptr<sim::AccessPoint> access_point_;
     fp::ContentLibrary library_;

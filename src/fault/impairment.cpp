@@ -1,0 +1,104 @@
+#include "fault/impairment.hpp"
+
+#include <algorithm>
+
+namespace tvacr::fault {
+namespace {
+
+constexpr std::uint64_t kFaultLabel = 0xFA017;
+
+std::uint64_t substream(std::uint64_t seed, std::uint64_t link_id, std::uint64_t direction) {
+    return derive_seed(derive_seed(derive_seed(seed, kFaultLabel), link_id), direction);
+}
+
+bool in_any(const std::vector<TimeWindow>& windows, SimTime t) noexcept {
+    return std::any_of(windows.begin(), windows.end(),
+                       [t](const TimeWindow& w) { return w.contains(t); });
+}
+
+}  // namespace
+
+ImpairmentModel::ImpairmentModel(FaultSpec spec, std::uint64_t seed, std::uint64_t link_id)
+    : spec_(std::move(spec)),
+      rng_{Rng(substream(seed, link_id, 0)), Rng(substream(seed, link_id, 1))} {}
+
+void ImpairmentModel::bind(obs::Registry& metrics) {
+    m_dropped_ = metrics.counter("link.dropped");
+    m_outage_dropped_ = metrics.counter("link.outage_dropped");
+    m_duplicated_ = metrics.counter("link.duplicated");
+    m_reordered_ = metrics.counter("link.reordered");
+}
+
+bool ImpairmentModel::link_up(SimTime now) const noexcept {
+    return !in_any(spec_.outages, now);
+}
+
+bool ImpairmentModel::dns_down(SimTime now) const noexcept {
+    return in_any(spec_.dns_outages, now);
+}
+
+FrameVerdict ImpairmentModel::on_frame(Direction direction, SimTime now, std::size_t frame_bytes) {
+    const auto dir = static_cast<std::size_t>(direction);
+    const std::uint64_t index = frame_index_[dir]++;
+    FrameVerdict verdict;
+
+    if (!link_up(now)) {
+        verdict.drop = true;
+        ++dropped_;
+        ++outage_dropped_;
+        m_dropped_.add();
+        m_outage_dropped_.add();
+        return verdict;
+    }
+
+    const auto& scripted =
+        direction == Direction::kUplink ? spec_.drop_uplink_frames : spec_.drop_downlink_frames;
+    if (std::find(scripted.begin(), scripted.end(), index) != scripted.end()) {
+        verdict.drop = true;
+        ++dropped_;
+        m_dropped_.add();
+        return verdict;
+    }
+
+    // Draw order is part of the determinism contract (documented in
+    // DESIGN.md §7): loss, jitter, reorder, duplicate — changing it changes
+    // every impaired golden trace.
+    Rng& rng = rng_[dir];
+    if (spec_.loss > 0.0 && rng.chance(spec_.loss)) {
+        verdict.drop = true;
+        ++dropped_;
+        m_dropped_.add();
+        return verdict;
+    }
+
+    if (spec_.bandwidth_kbps > 0) {
+        // Store-and-forward serialization: bits / (kbit/s) microseconds.
+        const auto bits = static_cast<std::int64_t>(frame_bytes) * 8;
+        const SimTime tx_time = SimTime::micros(bits * 1000 / spec_.bandwidth_kbps);
+        const SimTime start = std::max(now, busy_until_[dir]);
+        busy_until_[dir] = start + tx_time;
+        verdict.extra_delay = verdict.extra_delay + (busy_until_[dir] - now);
+    }
+
+    if (spec_.jitter > SimTime{}) {
+        verdict.extra_delay =
+            verdict.extra_delay + SimTime::micros(rng.uniform(0, spec_.jitter.as_micros()));
+    }
+
+    if (spec_.reorder > 0.0 && rng.chance(spec_.reorder)) {
+        verdict.reordered = true;
+        verdict.extra_delay = verdict.extra_delay + spec_.reorder_delay;
+        ++reordered_;
+        m_reordered_.add();
+    }
+
+    if (spec_.duplicate > 0.0 && rng.chance(spec_.duplicate)) {
+        verdict.duplicate = true;
+        ++duplicated_;
+        m_duplicated_.add();
+    }
+
+    return verdict;
+}
+
+}  // namespace tvacr::fault

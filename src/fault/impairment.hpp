@@ -1,0 +1,85 @@
+// ImpairmentModel: deterministic frame-level interpreter for a FaultSpec.
+//
+// The model owns one RNG substream per link direction, derived from
+// (seed, link-id, direction) with common::derive_seed, and consumes exactly
+// one draw per probabilistic knob per frame. It never reads the wall clock or
+// any ambient randomness: every decision is a pure function of the spec, the
+// substream state, and the SimTime passed in by the caller. That is the whole
+// determinism contract — any number of parallel workers replaying the same
+// (spec, seed) observe byte-identical verdict sequences.
+//
+// The model deliberately knows nothing about the simulator or packets; the
+// access point asks it for a FrameVerdict and applies the verdict itself,
+// which keeps tvacr_fault free of a dependency cycle with tvacr_sim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "fault/spec.hpp"
+#include "obs/metrics.hpp"
+
+namespace tvacr::fault {
+
+enum class Direction : std::uint8_t {
+    kUplink = 0,    // station -> access point
+    kDownlink = 1,  // access point -> station
+};
+
+/// What should happen to one frame. `extra_delay` accumulates bandwidth
+/// serialization, jitter, and the reorder hold-back; `duplicate_gap` is how
+/// far behind the original the duplicate copy trails.
+struct FrameVerdict {
+    bool drop = false;
+    bool duplicate = false;
+    bool reordered = false;
+    SimTime extra_delay;
+    SimTime duplicate_gap = SimTime::micros(150);
+};
+
+class ImpairmentModel {
+  public:
+    /// `seed` is the testbed seed; `link_id` distinguishes links so a fleet
+    /// of testbeds sharing one seed still gets independent substreams.
+    ImpairmentModel(FaultSpec spec, std::uint64_t seed, std::uint64_t link_id);
+
+    /// Creates the link.* counters in `metrics`. Optional: an unbound model
+    /// still works, it just reports through accessors only. Binding is kept
+    /// out of the constructor so clean runs never see link.* entries.
+    void bind(obs::Registry& metrics);
+
+    /// False while `now` falls inside a scheduled link outage.
+    [[nodiscard]] bool link_up(SimTime now) const noexcept;
+
+    /// True while `now` falls inside a DNS-server failure window.
+    [[nodiscard]] bool dns_down(SimTime now) const noexcept;
+
+    /// Decides the fate of the next frame in `direction`. Advances the
+    /// per-direction frame index and RNG substream; call exactly once per
+    /// frame, in transmission order.
+    [[nodiscard]] FrameVerdict on_frame(Direction direction, SimTime now, std::size_t frame_bytes);
+
+    [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+    [[nodiscard]] std::uint64_t outage_dropped() const noexcept { return outage_dropped_; }
+    [[nodiscard]] std::uint64_t duplicated() const noexcept { return duplicated_; }
+    [[nodiscard]] std::uint64_t reordered() const noexcept { return reordered_; }
+
+  private:
+    FaultSpec spec_;
+    Rng rng_[2];
+    std::uint64_t frame_index_[2] = {0, 0};
+    SimTime busy_until_[2];  // bandwidth-cap serialization horizon
+    std::uint64_t dropped_ = 0;
+    std::uint64_t outage_dropped_ = 0;
+    std::uint64_t duplicated_ = 0;
+    std::uint64_t reordered_ = 0;
+    obs::Registry::Counter m_dropped_;
+    obs::Registry::Counter m_outage_dropped_;
+    obs::Registry::Counter m_duplicated_;
+    obs::Registry::Counter m_reordered_;
+};
+
+}  // namespace tvacr::fault

@@ -1,0 +1,85 @@
+// FaultSpec: the declarative description of a network-impairment scenario.
+//
+// A spec is pure data — probabilities, delay bounds, and scheduled windows —
+// that an ImpairmentModel interprets against the simulator clock and a
+// deterministic RNG substream. Specs travel inside campaign/experiment specs
+// and over the CLI (`--faults loss=0.05,outage=60s+15s`), so parsing and the
+// canonical `to_string` rendering must round-trip exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace tvacr::fault {
+
+/// Half-open window [start, end) on the simulated clock.
+struct TimeWindow {
+    SimTime start;
+    SimTime end;
+
+    [[nodiscard]] bool contains(SimTime t) const noexcept { return t >= start && t < end; }
+    [[nodiscard]] bool operator==(const TimeWindow&) const noexcept = default;
+};
+
+/// All impairment knobs for one link. Default-constructed == no impairment;
+/// `enabled()` gates every integration point so a clean run takes byte-for-
+/// byte the same code path it did before this subsystem existed.
+struct FaultSpec {
+    /// Independent per-frame drop probability.
+    double loss = 0.0;
+    /// Per-frame duplication probability (the copy trails the original).
+    double duplicate = 0.0;
+    /// Per-frame reorder probability; a reordered frame is held back by
+    /// `reorder_delay` so later frames overtake it on the wire.
+    double reorder = 0.0;
+    SimTime reorder_delay = SimTime::millis(30);
+    /// Uniform extra latency in [0, jitter] added per frame.
+    SimTime jitter;
+    /// Link serialization cap in kbit/s; 0 means uncapped.
+    std::uint32_t bandwidth_kbps = 0;
+    /// Scheduled full-link outages (both directions drop everything).
+    std::vector<TimeWindow> outages;
+    /// Windows during which the primary DNS server answers nothing.
+    std::vector<TimeWindow> dns_outages;
+    /// Scripted per-direction frame drops by 0-based frame index — the
+    /// adversarial-test hook ("drop exactly the SYN", "drop the first FIN").
+    std::vector<std::uint64_t> drop_uplink_frames;
+    std::vector<std::uint64_t> drop_downlink_frames;
+
+    [[nodiscard]] bool enabled() const noexcept;
+
+    /// Nullopt when the spec is self-consistent, else a human-readable reason
+    /// (probability out of [0,1], negative delay, empty/inverted window...).
+    [[nodiscard]] std::optional<std::string> validate() const;
+
+    /// Canonical textual form, reparseable by parse_fault_spec. Fields are
+    /// emitted in a fixed order and only when non-default, so equal specs
+    /// always render identically.
+    [[nodiscard]] std::string to_string() const;
+
+    [[nodiscard]] bool operator==(const FaultSpec&) const noexcept = default;
+};
+
+struct ParsedFaultSpec {
+    std::optional<FaultSpec> spec;
+    std::string error;  // non-empty iff spec is nullopt
+};
+
+/// Parses `loss=0.05,dup=0.01,reorder=0.02,reorder_delay=40ms,jitter=3ms,
+/// bw=256,outage=60s+15s,dns_outage=30s+8s,drop_up=0;3,drop_down=1`.
+/// Durations accept us/ms/s/m suffixes. Repeated outage=/dns_outage= keys
+/// append windows. The keywords "none" (or an empty string) and "canonical"
+/// map to a default spec and canonical_fault_spec() respectively.
+[[nodiscard]] ParsedFaultSpec parse_fault_spec(std::string_view text);
+
+/// The reference impaired scenario shared by the golden pcap, the CI soak
+/// step, and the docs: moderate loss/dup/reorder/jitter plus one mid-run
+/// link outage and one DNS-server failure window.
+[[nodiscard]] FaultSpec canonical_fault_spec();
+
+}  // namespace tvacr::fault

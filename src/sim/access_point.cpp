@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fault/impairment.hpp"
 #include "sim/cloud.hpp"
 #include "sim/station.hpp"
 
@@ -28,9 +29,34 @@ void AccessPoint::tap_frame(const net::Packet& packet) {
 }
 
 void AccessPoint::on_station_frame(Station& station, net::Packet packet) {
-    SimTime arrival = simulator_.now() + sample_wifi_latency();
-    if (arrival < last_uplink_arrival_) arrival = last_uplink_arrival_ + SimTime::micros(1);
-    last_uplink_arrival_ = arrival;
+    fault::FrameVerdict verdict;
+    if (impairment_ != nullptr) {
+        verdict = impairment_->on_frame(fault::Direction::kUplink, simulator_.now(),
+                                        packet.data.size());
+        // Lost in the air: the frame never reaches the AP, so it is invisible
+        // to the tap and survives only as an eventual retransmission.
+        if (verdict.drop) return;
+    }
+    const SimTime delay = sample_wifi_latency() + verdict.extra_delay;
+    if (verdict.duplicate) {
+        schedule_uplink(station, packet, delay, verdict.reordered);
+        schedule_uplink(station, std::move(packet), delay + verdict.duplicate_gap,
+                        verdict.reordered);
+    } else {
+        schedule_uplink(station, std::move(packet), delay, verdict.reordered);
+    }
+}
+
+void AccessPoint::schedule_uplink(Station& station, net::Packet packet, SimTime delay,
+                                  bool allow_reorder) {
+    SimTime arrival = simulator_.now() + delay;
+    // Reordered frames are held back on purpose and skip the FIFO clamp so
+    // later frames genuinely overtake them; they also leave the FIFO horizon
+    // untouched (a straggler must not delay everything behind it).
+    if (!allow_reorder) {
+        if (arrival < last_uplink_arrival_) arrival = last_uplink_arrival_ + SimTime::micros(1);
+        last_uplink_arrival_ = arrival;
+    }
     simulator_.at(arrival, [this, &station, packet = std::move(packet), arrival]() mutable {
         packet.timestamp = arrival;  // capture timestamps are AP-side
         tap_frame(packet);
@@ -42,12 +68,38 @@ void AccessPoint::on_station_frame(Station& station, net::Packet packet) {
 
 void AccessPoint::deliver_to_station(net::Packet packet) {
     if (station_ == nullptr) return;
+    fault::FrameVerdict verdict;
+    if (impairment_ != nullptr) {
+        verdict = impairment_->on_frame(fault::Direction::kDownlink, simulator_.now(),
+                                        packet.data.size());
+        // Dropped before the AP radio transmits it, so never tapped.
+        if (verdict.drop) return;
+    }
     packet.timestamp = simulator_.now();
     tap_frame(packet);
-    SimTime arrival = simulator_.now() + sample_wifi_latency();
-    if (arrival < last_downlink_arrival_) arrival = last_downlink_arrival_ + SimTime::micros(1);
-    last_downlink_arrival_ = arrival;
+    SimTime arrival = simulator_.now() + sample_wifi_latency() + verdict.extra_delay;
+    if (!verdict.reordered) {
+        if (arrival < last_downlink_arrival_) arrival = last_downlink_arrival_ + SimTime::micros(1);
+        last_downlink_arrival_ = arrival;
+    }
+    if (verdict.duplicate) {
+        // The duplicate trails the original and is tapped as its own frame at
+        // its own (later) departure time, like a retransmitted radio frame.
+        net::Packet copy = packet;
+        const SimTime copy_arrival = arrival + verdict.duplicate_gap;
+        simulator_.after(verdict.duplicate_gap,
+                         [this, copy = std::move(copy), copy_arrival]() mutable {
+                             copy.timestamp = simulator_.now();
+                             tap_frame(copy);
+                             simulator_.at(copy_arrival,
+                                           [this, copy]() { station_->deliver(copy); });
+                         });
+    }
     simulator_.at(arrival, [this, packet = std::move(packet)]() { station_->deliver(packet); });
+}
+
+bool AccessPoint::link_up() const {
+    return impairment_ == nullptr || impairment_->link_up(simulator_.now());
 }
 
 SimTime AccessPoint::sample_wifi_latency() { return wifi_latency_.sample(rng_); }

@@ -14,6 +14,10 @@
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
 
+namespace tvacr::fault {
+class ImpairmentModel;
+}  // namespace tvacr::fault
+
 namespace tvacr::sim {
 
 class Station;
@@ -56,6 +60,16 @@ class AccessPoint {
         if (mitm_tap_) mitm_tap_(record);
     }
 
+    /// Installs a frame-level impairment model on the Wi-Fi link (non-owning;
+    /// nullptr restores the pristine link). Verdicts are applied *before* the
+    /// capture tap: a dropped frame never reaches the tap and survives only
+    /// as a retransmission — exactly what a real AP-side capture records.
+    void set_impairment(fault::ImpairmentModel* model) noexcept { impairment_ = model; }
+    [[nodiscard]] fault::ImpairmentModel* impairment() const noexcept { return impairment_; }
+
+    /// False while the impairment model has the link inside an outage window.
+    [[nodiscard]] bool link_up() const;
+
     /// Starts/stops copying frames to the tap (traffic capture lifecycle).
     void set_capturing(bool capturing) noexcept { capturing_ = capturing; }
     [[nodiscard]] bool capturing() const noexcept { return capturing_; }
@@ -79,6 +93,7 @@ class AccessPoint {
 
   private:
     void tap_frame(const net::Packet& packet);
+    void schedule_uplink(Station& station, net::Packet packet, SimTime delay, bool allow_reorder);
 
     Simulator& simulator_;
     net::MacAddress mac_;
@@ -87,6 +102,7 @@ class AccessPoint {
     Rng rng_;
     Station* station_ = nullptr;
     Cloud* cloud_ = nullptr;
+    fault::ImpairmentModel* impairment_ = nullptr;
     CaptureTap tap_;
     MitmTap mitm_tap_;
     bool capturing_ = true;

@@ -2,6 +2,7 @@
 
 #include "common/rng.hpp"
 #include "dns/message.hpp"
+#include "fault/impairment.hpp"
 #include "sim/access_point.hpp"
 #include "sim/station.hpp"
 
@@ -60,10 +61,10 @@ void Cloud::route_from_ap(AccessPoint& ap, const net::Packet& packet) {
     last = arrival;
     path = arrival - simulator_.now();
 
-    if (parsed.value().udp && destination == dns_ip_ &&
+    if (parsed.value().udp && is_dns_server(destination) &&
         parsed.value().udp->destination_port == dns::kDnsPort) {
-        simulator_.after(path, [this, &ap, parsed = std::move(parsed).value()]() {
-            handle_dns(ap, parsed);
+        simulator_.after(path, [this, &ap, destination, parsed = std::move(parsed).value()]() {
+            handle_dns(ap, parsed, destination);
         });
         return;
     }
@@ -107,9 +108,26 @@ bool Cloud::is_blocked(const dns::DomainName& name) const {
     return false;
 }
 
-void Cloud::handle_dns(AccessPoint& ap, const net::ParsedPacket& query_packet) {
+bool Cloud::is_dns_server(net::Ipv4Address address) const noexcept {
+    if (address == dns_ip_) return true;
+    for (const auto extra : extra_dns_ips_) {
+        if (extra == address) return true;
+    }
+    return false;
+}
+
+void Cloud::handle_dns(AccessPoint& ap, const net::ParsedPacket& query_packet,
+                       net::Ipv4Address server_ip) {
     auto query = dns::DnsMessage::decode(query_packet.payload);
     if (!query || query.value().is_response) return;
+    // A scheduled DNS-server failure window silences the *primary* resolver
+    // only; fallback resolvers keep answering, so the client's failover path
+    // is what decides whether resolution survives the window.
+    if (impairment_ != nullptr && server_ip == dns_ip_ &&
+        impairment_->dns_down(simulator_.now())) {
+        m_dns_dropped_.add();
+        return;
+    }
     if (dns_drop_rate_ > 0.0 && rng_.chance(dns_drop_rate_)) {  // lost query
         m_dns_dropped_.add();
         return;
@@ -127,9 +145,9 @@ void Cloud::handle_dns(AccessPoint& ap, const net::ParsedPacket& query_packet) {
     const Bytes wire = response.encode();
 
     // Response travels back: resolver -> AP (path latency) -> station (Wi-Fi).
-    const net::Endpoint server{dns_ip_, dns::kDnsPort};
+    const net::Endpoint server{server_ip, dns::kDnsPort};
     const net::Endpoint client{query_packet.ip->source, query_packet.udp->source_port};
-    const SimTime path = sample_path_latency(dns_ip_);
+    const SimTime path = sample_path_latency(server_ip);
     simulator_.after(path, [&ap, server, client, wire]() {
         // Downlink frames carry the AP's MAC as source, the station's as
         // destination — exactly what a Wi-Fi capture at the AP records.

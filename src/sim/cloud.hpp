@@ -11,6 +11,10 @@
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
 
+namespace tvacr::fault {
+class ImpairmentModel;
+}  // namespace tvacr::fault
+
 namespace tvacr::sim {
 
 class AccessPoint;
@@ -30,9 +34,20 @@ class Cloud {
     void enable_dns(net::Ipv4Address resolver_ip) { dns_ip_ = resolver_ip; }
     [[nodiscard]] net::Ipv4Address dns_ip() const noexcept { return dns_ip_; }
 
+    /// Registers an additional recursive resolver (same zone data). Secondary
+    /// resolvers are unaffected by the impairment model's DNS-outage windows,
+    /// which only silence the primary — that is what makes client-side
+    /// failover observable.
+    void add_dns_server(net::Ipv4Address resolver_ip) { extra_dns_ips_.push_back(resolver_ip); }
+    [[nodiscard]] bool is_dns_server(net::Ipv4Address address) const noexcept;
+
     /// Fault injection: fraction of DNS queries silently dropped (models a
     /// lossy uplink; exercises the stub resolver's retry path).
     void set_dns_drop_rate(double rate) noexcept { dns_drop_rate_ = rate; }
+
+    /// Installs the impairment model whose dns_down() windows silence the
+    /// primary resolver (non-owning; nullptr restores normal service).
+    void set_impairment(const fault::ImpairmentModel* model) noexcept { impairment_ = model; }
 
     /// Fault injection: fraction of *data-bearing* TCP segments lost on the
     /// path to/from `destination` (control segments are exempt — handshake
@@ -73,12 +88,15 @@ class Cloud {
     [[nodiscard]] std::uint64_t datagrams_routed() const noexcept { return datagrams_routed_; }
 
   private:
-    void handle_dns(AccessPoint& ap, const net::ParsedPacket& query_packet);
+    void handle_dns(AccessPoint& ap, const net::ParsedPacket& query_packet,
+                    net::Ipv4Address server_ip);
 
     Simulator& simulator_;
     Rng rng_;
     dns::Zone zone_;
     net::Ipv4Address dns_ip_;
+    std::vector<net::Ipv4Address> extra_dns_ips_;
+    const fault::ImpairmentModel* impairment_ = nullptr;
     double dns_drop_rate_ = 0.0;
     std::unordered_map<net::Ipv4Address, double> route_loss_;
     std::uint64_t data_segments_dropped_ = 0;

@@ -8,20 +8,23 @@ DnsClient::DnsClient(Simulator& simulator, Station& station, net::Ipv4Address re
                      std::uint64_t seed, Config config)
     : simulator_(simulator),
       station_(station),
-      resolver_(resolver),
+      resolvers_{resolver},
       rng_(seed),
       config_(config),
       port_(station.allocate_port()),
       next_id_(static_cast<std::uint16_t>(rng_())),
       m_queries_(simulator.obs().metrics.counter("dns.queries")),
       m_retries_(simulator.obs().metrics.counter("dns.retries")),
+      m_failovers_(simulator.obs().metrics.counter("dns.failovers")),
       m_answers_(simulator.obs().metrics.counter("dns.answers")),
       m_failures_(simulator.obs().metrics.counter("dns.failures")),
       m_timeouts_(simulator.obs().metrics.counter("dns.timeouts")),
       m_cache_hits_(simulator.obs().metrics.counter("dns.cache_hits")),
       m_latency_us_(simulator.obs().metrics.histogram("dns.query_latency_us")) {
+    resolvers_.insert(resolvers_.end(), config_.fallback_resolvers.begin(),
+                      config_.fallback_resolvers.end());
     station_.bind_udp(port_, [this](net::Endpoint from, Bytes payload) {
-        if (from.address != resolver_) return;
+        if (!is_resolver(from.address)) return;
         auto response = dns::DnsMessage::decode(payload);
         if (!response || !response.value().is_response) return;
         const auto it = in_flight_.find(response.value().id);
@@ -95,10 +98,18 @@ void DnsClient::send_query(std::uint16_t id, const std::string& name, int attemp
     }
     in_flight_[id] = Pending{std::move(callback), name, first_sent};
     const dns::DnsMessage query = make_query(id, parsed.value(), dns::RecordType::kA);
-    station_.send_udp(port_, net::Endpoint{resolver_, dns::kDnsPort}, query.encode());
+    const net::Ipv4Address target = resolver_for_attempt(attempt);
+    station_.send_udp(port_, net::Endpoint{target, dns::kDnsPort}, query.encode());
     ++queries_sent_;
     m_queries_.add();
-    if (attempt > 1) m_retries_.add();
+    if (attempt > 1) {
+        ++retries_;
+        m_retries_.add();
+        if (target != resolvers_.front()) {
+            ++failovers_;
+            m_failovers_.add();
+        }
+    }
 
     simulator_.after(config_.timeout, [this, alive = std::weak_ptr<bool>(alive_), id, name,
                                        attempt]() {
@@ -115,6 +126,18 @@ void DnsClient::send_query(std::uint16_t id, const std::string& name, int attemp
         }
         send_query(next_id_++, name, attempt + 1, pending.first_sent, std::move(pending.callback));
     });
+}
+
+net::Ipv4Address DnsClient::resolver_for_attempt(int attempt) const noexcept {
+    const auto index = static_cast<std::size_t>(attempt - 1) % resolvers_.size();
+    return resolvers_[index];
+}
+
+bool DnsClient::is_resolver(net::Ipv4Address address) const noexcept {
+    for (const auto resolver : resolvers_) {
+        if (resolver == address) return true;
+    }
+    return false;
 }
 
 }  // namespace tvacr::sim

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "dns/message.hpp"
 #include "sim/cloud.hpp"
@@ -20,6 +21,10 @@ struct DnsClientConfig {
     int max_attempts = 3;
     /// How long NXDOMAIN answers are cached (negative caching, RFC 2308).
     SimTime negative_ttl = SimTime::minutes(5);
+    /// Secondary resolvers tried round-robin on retry: attempt n goes to
+    /// resolver (n-1) mod (1 + fallbacks), so a dead primary costs exactly
+    /// one timeout before the client fails over.
+    std::vector<net::Ipv4Address> fallback_resolvers;
 };
 
 class DnsClient {
@@ -44,6 +49,10 @@ class DnsClient {
     [[nodiscard]] std::uint64_t negative_cache_hits() const noexcept {
         return negative_cache_hits_;
     }
+    /// Retry attempts (queries re-sent after a timeout).
+    [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+    /// Retries that went to a fallback resolver rather than the primary.
+    [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
 
   private:
     struct CacheEntry {
@@ -64,9 +73,13 @@ class DnsClient {
                     Callback callback);
     void complete(Pending pending, std::optional<net::Ipv4Address> address);
 
+    /// Resolver targeted by the given 1-based attempt number.
+    [[nodiscard]] net::Ipv4Address resolver_for_attempt(int attempt) const noexcept;
+    [[nodiscard]] bool is_resolver(net::Ipv4Address address) const noexcept;
+
     Simulator& simulator_;
     Station& station_;
-    net::Ipv4Address resolver_;
+    std::vector<net::Ipv4Address> resolvers_;  // [0] is the primary
     Rng rng_;
     Config config_;
     std::uint16_t port_;
@@ -76,9 +89,12 @@ class DnsClient {
     std::uint64_t queries_sent_ = 0;
     std::uint64_t cache_hits_ = 0;
     std::uint64_t negative_cache_hits_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t failovers_ = 0;
     // Per-simulation metrics handles (see obs/metrics.hpp).
     obs::Registry::Counter m_queries_;
     obs::Registry::Counter m_retries_;
+    obs::Registry::Counter m_failovers_;
     obs::Registry::Counter m_answers_;
     obs::Registry::Counter m_failures_;
     obs::Registry::Counter m_timeouts_;

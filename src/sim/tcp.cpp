@@ -24,6 +24,7 @@ TcpConnection::TcpConnection(Simulator& simulator, Station& station, Cloud& clou
       m_established_(simulator.obs().metrics.counter("tcp.established")),
       m_closed_(simulator.obs().metrics.counter("tcp.closed")),
       m_retransmits_(simulator.obs().metrics.counter("tcp.retransmits")),
+      m_ctrl_retransmits_(simulator.obs().metrics.counter("tcp.ctrl_retransmits")),
       m_bytes_up_(simulator.obs().metrics.counter("tcp.bytes_up")),
       m_bytes_down_(simulator.obs().metrics.counter("tcp.bytes_down")),
       m_lifetime_us_(simulator.obs().metrics.histogram("tcp.connection_lifetime_us")) {
@@ -67,22 +68,25 @@ void TcpConnection::connect(std::function<void()> on_established) {
     state_ = State::kSynSent;
     connect_at_ = simulator_.now();
     m_connects_.add();
+    client_iss_ = client_snd_nxt_;
     client_emit(TcpFlags::kSyn, {});
+    arm_ctrl_timer();
+}
+
+void TcpConnection::client_send_raw(std::uint8_t flags, std::uint32_t seq, BytesView payload) {
+    const net::FrameBuilder builder(station_.mac(), ap_.mac());
+    station_.transmit(
+        builder.tcp(simulator_.now(), local_, remote_, seq, client_rcv_nxt_, flags, payload));
 }
 
 void TcpConnection::client_emit(std::uint8_t flags, BytesView payload) {
-    const net::FrameBuilder builder(station_.mac(), ap_.mac());
-    station_.transmit(builder.tcp(simulator_.now(), local_, remote_, client_snd_nxt_,
-                                  client_rcv_nxt_, flags, payload));
+    client_send_raw(flags, client_snd_nxt_, payload);
     client_snd_nxt_ += static_cast<std::uint32_t>(payload.size());
     if ((flags & (TcpFlags::kSyn | TcpFlags::kFin)) != 0) client_snd_nxt_ += 1;
 }
 
-void TcpConnection::server_emit(std::uint8_t flags, BytesView payload) {
-    const std::uint32_t seq = server_snd_nxt_;
+void TcpConnection::server_send_raw(std::uint8_t flags, std::uint32_t seq, BytesView payload) {
     const std::uint32_t ack = server_rcv_nxt_;
-    server_snd_nxt_ += static_cast<std::uint32_t>(payload.size());
-    if ((flags & (TcpFlags::kSyn | TcpFlags::kFin)) != 0) server_snd_nxt_ += 1;
 
     // Server -> AP path latency, FIFO-clamped so segments stay ordered.
     SimTime arrival = simulator_.now() + cloud_.sample_path_latency(remote_.address);
@@ -100,18 +104,46 @@ void TcpConnection::server_emit(std::uint8_t flags, BytesView payload) {
     });
 }
 
+void TcpConnection::server_emit(std::uint8_t flags, BytesView payload) {
+    const std::uint32_t seq = server_snd_nxt_;
+    server_snd_nxt_ += static_cast<std::uint32_t>(payload.size());
+    if ((flags & (TcpFlags::kSyn | TcpFlags::kFin)) != 0) server_snd_nxt_ += 1;
+    server_send_raw(flags, seq, payload);
+}
+
 void TcpConnection::on_client_segment_at_server(const net::ParsedPacket& packet) {
     if (!packet.tcp) return;
     const auto& tcp = *packet.tcp;
 
     if (tcp.has(TcpFlags::kSyn)) {
+        if (server_syn_seen_) {
+            // Retransmitted SYN: our SYN-ACK was lost. Re-emit it from the
+            // recorded ISS instead of consuming fresh sequence space.
+            ++control_retransmits_;
+            m_ctrl_retransmits_.add();
+            server_send_raw(TcpFlags::kSyn | TcpFlags::kAck, server_iss_, {});
+            return;
+        }
+        server_syn_seen_ = true;
         server_rcv_nxt_ = tcp.sequence + 1;
+        server_iss_ = server_snd_nxt_;
         server_emit(TcpFlags::kSyn | TcpFlags::kAck, {});
         return;
     }
     if (tcp.has(TcpFlags::kFin)) {
+        if (server_fin_sent_) {
+            // Retransmitted FIN: our ACK and/or FIN-ACK was lost. Replay both
+            // byte-identically from the recorded sequence numbers.
+            ++control_retransmits_;
+            m_ctrl_retransmits_.add();
+            server_send_raw(TcpFlags::kAck, server_fin_seq_, {});
+            server_send_raw(TcpFlags::kFin | TcpFlags::kAck, server_fin_seq_, {});
+            return;
+        }
+        server_fin_sent_ = true;
         server_rcv_nxt_ = tcp.sequence + static_cast<std::uint32_t>(packet.payload.size()) + 1;
         server_emit(TcpFlags::kAck, {});
+        server_fin_seq_ = server_snd_nxt_;
         server_emit(TcpFlags::kFin | TcpFlags::kAck, {});
         return;
     }
@@ -158,6 +190,8 @@ void TcpConnection::on_server_segment_at_client(const net::ParsedPacket& packet)
         client_rcv_nxt_ = tcp.sequence + 1;
         client_emit(TcpFlags::kAck, {});
         state_ = State::kEstablished;
+        ++ctrl_epoch_;  // cancel the SYN retransmission timer
+        syn_attempts_ = 0;
         m_established_.add();
         if (on_established_) {
             auto callback = std::move(on_established_);
@@ -167,20 +201,21 @@ void TcpConnection::on_server_segment_at_client(const net::ParsedPacket& packet)
         start_next_exchange();
         return;
     }
+    if (tcp.has(TcpFlags::kSyn)) {
+        // Duplicate SYN-ACK after establishment (our handshake ACK crossed a
+        // retransmitted SYN-ACK on the wire): already handled, ignore.
+        return;
+    }
     if (tcp.has(TcpFlags::kFin)) {
+        if (state_ == State::kClosed) {
+            // Retransmitted FIN-ACK: our final ACK was lost. Re-acknowledge
+            // without re-running the close bookkeeping.
+            client_emit(TcpFlags::kAck, {});
+            return;
+        }
         client_rcv_nxt_ = tcp.sequence + static_cast<std::uint32_t>(packet.payload.size()) + 1;
         client_emit(TcpFlags::kAck, {});
-        state_ = State::kClosed;
-        m_closed_.add();
-        m_lifetime_us_.observe(static_cast<double>((simulator_.now() - connect_at_).as_micros()));
-        simulator_.obs().trace.span("tcp " + remote_.address.to_string(), "tcp", connect_at_,
-                                    simulator_.now(), /*tid=*/2,
-                                    {{"remote", remote_.address.to_string()}});
-        if (on_closed_) {
-            auto callback = std::move(on_closed_);
-            on_closed_ = nullptr;
-            callback();
-        }
+        finish_close();
         return;
     }
     if (packet.payload.empty()) {
@@ -242,6 +277,7 @@ void TcpConnection::send_stream(bool from_client, Bytes data) {
     tx.cwnd = config_.initial_cwnd;
     tx.ssthresh = config_.ssthresh;
     tx.duplicate_acks = 0;
+    tx.timeouts = 0;
     tx.active = true;
     // Control segments emitted after this stream continue past its range.
     if (from_client) {
@@ -303,13 +339,16 @@ void TcpConnection::transmit_more(bool from_client) {
 void TcpConnection::arm_rto(bool from_client) {
     StreamTx& tx = from_client ? client_tx_ : server_tx_;
     const std::uint64_t epoch = ++tx.rto_epoch;
-    simulator_.after(config_.rto, [this, alive = std::weak_ptr<bool>(alive_), from_client,
-                                   epoch]() {
+    simulator_.after(backed_off_rto(tx.timeouts), [this, alive = std::weak_ptr<bool>(alive_),
+                                                   from_client, epoch]() {
         const auto guard = alive.lock();
         if (!guard || !*guard) return;
         StreamTx& timer_tx = from_client ? client_tx_ : server_tx_;
         if (!timer_tx.active || timer_tx.rto_epoch != epoch) return;  // superseded
-        // Timeout: collapse the window and resend everything unacked.
+        // Timeout: back off the next timer, collapse the window, and resend
+        // everything unacked. During a link outage this decays to one probe
+        // flight every max_rto instead of a retransmission storm.
+        ++timer_tx.timeouts;
         timer_tx.ssthresh = std::max<std::size_t>(timer_tx.cwnd / 2, 2);
         timer_tx.cwnd = config_.initial_cwnd;
         timer_tx.duplicate_acks = 0;
@@ -318,6 +357,12 @@ void TcpConnection::arm_rto(bool from_client) {
         m_retransmits_.add();
         transmit_more(from_client);
     });
+}
+
+SimTime TcpConnection::backed_off_rto(int consecutive_timeouts) const {
+    SimTime rto = config_.rto;
+    for (int i = 0; i < consecutive_timeouts && rto < config_.max_rto; ++i) rto = rto * 2;
+    return std::min(rto, config_.max_rto);
 }
 
 void TcpConnection::on_stream_ack(bool from_client, std::uint32_t ack_number) {
@@ -333,6 +378,7 @@ void TcpConnection::on_stream_ack(bool from_client, std::uint32_t ack_number) {
     if (acked_bytes > tx.acked) {
         tx.acked = acked_bytes;
         tx.duplicate_acks = 0;
+        tx.timeouts = 0;  // forward progress resets the RTO backoff
         if (tx.cwnd < tx.ssthresh) {
             tx.cwnd += 1;  // slow start: doubles per round
         } else if (tx.cwnd < config_.max_cwnd) {
@@ -365,7 +411,63 @@ void TcpConnection::close(std::function<void()> on_closed) {
     if (state_ != State::kEstablished) return;
     on_closed_ = std::move(on_closed);
     state_ = State::kFinWait;
+    client_fin_seq_ = client_snd_nxt_;
     client_emit(TcpFlags::kFin | TcpFlags::kAck, {});
+    arm_ctrl_timer();
+}
+
+void TcpConnection::finish_close() {
+    state_ = State::kClosed;
+    ++ctrl_epoch_;  // cancel the FIN retransmission timer
+    m_closed_.add();
+    m_lifetime_us_.observe(static_cast<double>((simulator_.now() - connect_at_).as_micros()));
+    simulator_.obs().trace.span("tcp " + remote_.address.to_string(), "tcp", connect_at_,
+                                simulator_.now(), /*tid=*/2,
+                                {{"remote", remote_.address.to_string()}});
+    if (on_closed_) {
+        auto callback = std::move(on_closed_);
+        on_closed_ = nullptr;
+        callback();
+    }
+}
+
+void TcpConnection::arm_ctrl_timer() {
+    const std::uint64_t epoch = ++ctrl_epoch_;
+    const int attempts = state_ == State::kSynSent ? syn_attempts_ : fin_attempts_;
+    simulator_.after(backed_off_rto(attempts), [this, alive = std::weak_ptr<bool>(alive_),
+                                                epoch]() {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        if (ctrl_epoch_ != epoch) return;  // handshake/teardown advanced
+        if (state_ == State::kSynSent) {
+            if (syn_attempts_ >= config_.max_ctrl_retries) {
+                // Handshake failure: give up deterministically. The pending
+                // on_established callback is dropped, the way a connect
+                // timeout surfaces as an error to a real application.
+                state_ = State::kClosed;
+                on_established_ = nullptr;
+                return;
+            }
+            ++syn_attempts_;
+            ++control_retransmits_;
+            m_ctrl_retransmits_.add();
+            client_send_raw(TcpFlags::kSyn, client_iss_, {});
+            arm_ctrl_timer();
+        } else if (state_ == State::kFinWait) {
+            if (fin_attempts_ >= config_.max_ctrl_retries) {
+                // Peer unreachable: close unilaterally (a FIN timeout) so the
+                // application still observes a terminal state.
+                finish_close();
+                return;
+            }
+            ++fin_attempts_;
+            ++control_retransmits_;
+            m_ctrl_retransmits_.add();
+            client_send_raw(TcpFlags::kFin | TcpFlags::kAck, client_fin_seq_, {});
+            arm_ctrl_timer();
+        }
+        // Any other state: the timer is stale; nothing to do.
+    });
 }
 
 }  // namespace tvacr::sim

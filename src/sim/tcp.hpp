@@ -4,9 +4,10 @@
 // real frames up the Wi-Fi link (so the capture tap sees byte-accurate SYN /
 // data / ACK / FIN exchanges), and the server side emits real downlink frames
 // through the access point. Segmentation honours the MSS, every data segment
-// is acknowledged by the receiver, and delivery is FIFO per path, so no
-// retransmission machinery is needed (the simulated network is loss-free;
-// losses are out of scope for the black-box timing/volume analysis).
+// is acknowledged by the receiver, and loss is repaired: data streams via an
+// exponentially backed-off RTO (Go-Back-N) plus fast retransmit, and the
+// control segments (SYN/FIN) via their own retransmission timers, so the
+// connection survives the impaired links that fault::ImpairmentModel creates.
 #pragma once
 
 #include <cstdint>
@@ -34,8 +35,14 @@ struct TcpConfig {
     std::size_t initial_cwnd = 10;
     std::size_t ssthresh = 64;
     std::size_t max_cwnd = 128;
-    /// Retransmission timeout (coarse, fixed; sim RTTs are tens of ms).
+    /// Base retransmission timeout (coarse; sim RTTs are tens of ms). Each
+    /// consecutive timeout without forward progress doubles the timer up to
+    /// max_rto; a new cumulative ACK resets it.
     SimTime rto = SimTime::millis(250);
+    SimTime max_rto = SimTime::seconds(4);
+    /// SYN/FIN retransmission attempts before the connection gives up
+    /// (handshake failure, or a unilateral close when the peer is gone).
+    int max_ctrl_retries = 8;
 };
 
 class TcpConnection {
@@ -69,6 +76,11 @@ class TcpConnection {
     [[nodiscard]] net::Endpoint remote() const noexcept { return remote_; }
     /// Data segments resent after a timeout or triple-duplicate ACK.
     [[nodiscard]] std::uint64_t retransmitted_segments() const noexcept { return retransmits_; }
+    /// Control segments (SYN / FIN / SYN-ACK) resent after a timeout or on
+    /// receipt of a duplicate from the peer.
+    [[nodiscard]] std::uint64_t control_retransmits() const noexcept {
+        return control_retransmits_;
+    }
 
   private:
     enum class State { kIdle, kSynSent, kEstablished, kFinWait, kClosed };
@@ -78,10 +90,14 @@ class TcpConnection {
         std::function<void(Bytes)> on_response;
     };
 
-    // Client-side frame emission (up the Wi-Fi link).
+    // Client-side frame emission (up the Wi-Fi link). The _raw form sends at
+    // an explicit sequence number without consuming sequence space — that is
+    // what makes SYN/FIN retransmissions byte-identical to the originals.
     void client_emit(std::uint8_t flags, BytesView payload);
+    void client_send_raw(std::uint8_t flags, std::uint32_t seq, BytesView payload);
     // Server-side frame emission (down through the AP after path latency).
     void server_emit(std::uint8_t flags, BytesView payload);
+    void server_send_raw(std::uint8_t flags, std::uint32_t seq, BytesView payload);
 
     void on_client_segment_at_server(const net::ParsedPacket& packet);
     void on_server_segment_at_client(const net::ParsedPacket& packet);
@@ -92,6 +108,12 @@ class TcpConnection {
     void on_stream_ack(bool from_client, std::uint32_t ack_number);
     void arm_rto(bool from_client);
     void emit_data(bool from_client, std::uint32_t seq, std::uint8_t flags, Bytes chunk);
+    // SYN/FIN retransmission driver; rearms itself with exponential backoff
+    // until the state advances or max_ctrl_retries is exhausted.
+    void arm_ctrl_timer();
+    [[nodiscard]] SimTime backed_off_rto(int consecutive_timeouts) const;
+    // Terminal bookkeeping shared by FIN receipt and FIN-timeout give-up.
+    void finish_close();
 
     Simulator& simulator_;
     Station& station_;
@@ -126,10 +148,25 @@ class TcpConnection {
         // and sequence numbers stay aligned on the FIFO links.
         SimTime next_emit;
         std::uint64_t rto_epoch = 0;  // bumping it cancels the armed timer
+        int timeouts = 0;             // consecutive RTO firings (backoff input)
     };
     StreamTx client_tx_;
     StreamTx server_tx_;
     std::uint64_t retransmits_ = 0;
+
+    // Control-plane retransmission state. The recorded sequence numbers let a
+    // duplicate SYN/FIN be answered byte-identically instead of corrupting
+    // the sequence space by consuming fresh numbers.
+    std::uint32_t client_iss_ = 0;      // sequence of our SYN
+    std::uint32_t server_iss_ = 0;      // sequence of the server's SYN-ACK
+    std::uint32_t client_fin_seq_ = 0;  // sequence of our FIN
+    std::uint32_t server_fin_seq_ = 0;  // sequence of the server's FIN-ACK
+    bool server_syn_seen_ = false;
+    bool server_fin_sent_ = false;
+    int syn_attempts_ = 0;
+    int fin_attempts_ = 0;
+    std::uint64_t ctrl_epoch_ = 0;  // bumping it cancels the armed ctrl timer
+    std::uint64_t control_retransmits_ = 0;
 
     // In-flight application streams (reassembly is by arrival order thanks to
     // FIFO paths; the maps guard against pathological jitter).
@@ -151,6 +188,7 @@ class TcpConnection {
     obs::Registry::Counter m_established_;
     obs::Registry::Counter m_closed_;
     obs::Registry::Counter m_retransmits_;
+    obs::Registry::Counter m_ctrl_retransmits_;
     obs::Registry::Counter m_bytes_up_;
     obs::Registry::Counter m_bytes_down_;
     obs::Registry::Histogram m_lifetime_us_;

@@ -44,7 +44,8 @@ AcrClient::AcrClient(Wiring wiring, Brand brand, Country country, std::uint64_t 
       m_heartbeats_(wiring.simulator.obs().metrics.counter("acr.heartbeats")),
       m_probes_(wiring.simulator.obs().metrics.counter("acr.probes")),
       m_recognitions_(wiring.simulator.obs().metrics.counter("acr.recognitions")),
-      m_peak_reports_(wiring.simulator.obs().metrics.counter("acr.peak_reports")) {}
+      m_peak_reports_(wiring.simulator.obs().metrics.counter("acr.peak_reports")),
+      m_queued_fp_(wiring.simulator.obs().metrics.counter("acr.queued_fingerprints")) {}
 
 AcrClient::~AcrClient() { stop(); }
 
@@ -66,6 +67,11 @@ Bytes AcrClient::padding(std::size_t size) {
     return out;
 }
 
+bool AcrClient::link_up() const {
+    const sim::AccessPoint* ap = wiring_.station.access_point();
+    return ap == nullptr || ap->link_up();
+}
+
 void AcrClient::start(ScreenProvider screen, AcrMode mode) {
     if (running_) return;
     running_ = true;
@@ -73,6 +79,7 @@ void AcrClient::start(ScreenProvider screen, AcrMode mode) {
     mode_ = mode;
     screen_ = std::move(screen);
     pending_records_.clear();
+    queued_marked_ = 0;
     uploads_since_peak_ = 0;
     recognized_since_peak_ = 0;
     heartbeats_since_peak_ = 0;
@@ -204,6 +211,22 @@ void AcrClient::schedule_upload(Channel& channel) {
     wiring_.simulator.after(
         schedule_.upload_period + jitter, guarded(alive_, [this, &channel, epoch]() {
             if (!epoch_valid(epoch) || mode_ != AcrMode::kActive) return;
+
+            // Paper-faithful degradation: when an upload tick finds the link
+            // inside an outage window, nothing is discarded — captures keep
+            // accumulating locally and the whole backlog flushes as one
+            // oversized batch at the first tick after reconnect.
+            if (!link_up()) {
+                if (pending_records_.size() > queued_marked_) {
+                    const auto newly_queued = pending_records_.size() - queued_marked_;
+                    queued_fingerprints_ += newly_queued;
+                    m_queued_fp_.add(newly_queued);
+                    queued_marked_ = pending_records_.size();
+                }
+                schedule_upload(channel);
+                return;
+            }
+            queued_marked_ = 0;
 
             fp::FingerprintBatch batch;
             batch.device_id = device_id_;

@@ -73,6 +73,12 @@ class AcrClient {
     [[nodiscard]] std::uint64_t captures_taken() const noexcept { return captures_taken_; }
     [[nodiscard]] std::uint64_t recognitions() const noexcept { return recognitions_; }
     [[nodiscard]] std::uint64_t heartbeats_sent() const noexcept { return heartbeats_sent_; }
+    /// Fingerprint records that were held back locally because an upload tick
+    /// found the link down (the paper's disruption-resilience behaviour:
+    /// nothing is lost, the backlog flushes in one batch on reconnect).
+    [[nodiscard]] std::uint64_t queued_fingerprints() const noexcept {
+        return queued_fingerprints_;
+    }
 
   private:
     struct Channel {
@@ -100,6 +106,8 @@ class AcrClient {
     [[nodiscard]] bool epoch_valid(std::uint64_t epoch) const noexcept {
         return running_ && epoch == epoch_;
     }
+    /// Whether the Wi-Fi link is currently usable (no scheduled outage).
+    [[nodiscard]] bool link_up() const;
 
     Wiring wiring_;
     Brand brand_;
@@ -129,6 +137,8 @@ class AcrClient {
     std::uint64_t captures_taken_ = 0;
     std::uint64_t recognitions_ = 0;
     std::uint64_t heartbeats_sent_ = 0;
+    std::uint64_t queued_fingerprints_ = 0;
+    std::size_t queued_marked_ = 0;  // pending records already counted as queued
 
     obs::Registry::Counter m_captures_;
     obs::Registry::Counter m_batches_;
@@ -137,6 +147,7 @@ class AcrClient {
     obs::Registry::Counter m_probes_;
     obs::Registry::Counter m_recognitions_;
     obs::Registry::Counter m_peak_reports_;
+    obs::Registry::Counter m_queued_fp_;
 
     std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -10,7 +10,7 @@ SmartTv::SmartTv(sim::Simulator& simulator, sim::AccessPoint& access_point, sim:
       library_(library),
       config_(config),
       station_(simulator, to_string(config.brand) + "-tv", config.mac, config.ip),
-      resolver_(simulator, station_, cloud.dns_ip(), derive_seed(config.seed, 0xD45)),
+      resolver_(simulator, station_, cloud.dns_ip(), derive_seed(config.seed, 0xD45), config.dns),
       privacy_(PrivacySettings::defaults(config.brand)),
       logged_in_(config.logged_in) {
     station_.attach(access_point);

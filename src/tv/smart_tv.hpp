@@ -33,6 +33,8 @@ class SmartTv : public sim::PoweredDevice {
         bool logged_in = true;
         /// The rotating-domain number in effect for this boot (eu-acrX).
         int domain_rotation = 7;
+        /// Stub-resolver policy (timeouts, retries, fallback resolvers).
+        sim::DnsClientConfig dns;
     };
 
     SmartTv(sim::Simulator& simulator, sim::AccessPoint& access_point, sim::Cloud& cloud,

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/matrix_runner.hpp"
+#include "fault/spec.hpp"
 #include "net/pcap.hpp"
 
 namespace tvacr::core {
@@ -109,6 +110,54 @@ TEST(MatrixDeterminismTest, MetricsAndTraceBytesIdenticalAcrossWorkerCounts) {
 
     EXPECT_EQ(merged_trace(serial).to_chrome_json(), merged_trace(parallel).to_chrome_json());
     EXPECT_FALSE(merged_trace(serial).empty());
+}
+
+TEST(MatrixDeterminismTest, ImpairedSweepIdenticalAcrossWorkerCounts) {
+    // The fault layer joins the determinism contract: a campaign run over
+    // the canonical impaired link must replay byte-identically for any
+    // --jobs value. Every impairment decision draws from a substream keyed
+    // by (seed, link-id, direction) against the sim clock, so worker count
+    // and scheduling order cannot leak into the verdict sequence.
+    MatrixSpec matrix = uk_us_matrix(/*seed=*/2024);
+    matrix.scenarios = {tv::Scenario::kLinear, tv::Scenario::kIdle};
+    matrix.faults = fault::canonical_fault_spec();
+    const auto specs = MatrixRunner::expand(matrix);
+    for (const auto& spec : specs) EXPECT_EQ(spec.faults, matrix.faults);
+
+    const auto serial = MatrixRunner(1).run_experiments(specs);
+    const auto parallel = MatrixRunner(8).run_experiments(specs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    bool any_damage = false;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(specs[i].name());
+        EXPECT_EQ(net::to_pcap_bytes(serial[i].capture), net::to_pcap_bytes(parallel[i].capture));
+        EXPECT_EQ(serial[i].metrics.to_json(), parallel[i].metrics.to_json());
+        EXPECT_EQ(serial[i].batches_uploaded, parallel[i].batches_uploaded);
+        EXPECT_EQ(serial[i].backend_matches, parallel[i].backend_matches);
+        if (serial[i].metrics.counter_value("link.dropped") > 0) any_damage = true;
+    }
+    // The sweep was genuinely impaired, not a clean run in disguise.
+    EXPECT_TRUE(any_damage);
+}
+
+TEST(MatrixDeterminismTest, ImpairedRunsReplayAcrossRepeatedInvocations) {
+    // Same impaired matrix, two fresh runner instances: byte-identical
+    // artifacts. Catches hidden state leaking between runs (static RNGs,
+    // reused substream cursors) that a single jobs-1-vs-8 comparison could
+    // miss.
+    MatrixSpec matrix = uk_us_matrix(/*seed=*/77);
+    matrix.countries = {tv::Country::kUk};
+    matrix.scenarios = {tv::Scenario::kLinear};
+    matrix.faults = fault::canonical_fault_spec();
+    const auto specs = MatrixRunner::expand(matrix);
+    const auto first = MatrixRunner(4).run_experiments(specs);
+    const auto second = MatrixRunner(4).run_experiments(specs);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        SCOPED_TRACE(specs[i].name());
+        EXPECT_EQ(net::to_pcap_bytes(first[i].capture), net::to_pcap_bytes(second[i].capture));
+        EXPECT_EQ(first[i].metrics.to_json(), second[i].metrics.to_json());
+    }
 }
 
 TEST(MatrixDeterminismTest, ProfilingDoesNotPerturbMetrics) {

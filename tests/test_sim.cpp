@@ -6,6 +6,7 @@
 #include <set>
 
 #include "dns/message.hpp"
+#include "fault/impairment.hpp"
 #include "net/flow.hpp"
 #include "sim/access_point.hpp"
 #include "sim/cloud.hpp"
@@ -97,6 +98,23 @@ TEST(SimulatorTest, RunUntilStopsAtDeadline) {
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(sim.now(), SimTime::seconds(2));
     EXPECT_EQ(sim.pending_events(), 1U);
+}
+
+TEST(SimulatorTest, EventsPastDeadlineSurviveToNextRun) {
+    // Regression for the deadline contract: run_until *parks* events beyond
+    // the deadline, it never drops them. The fault layer leans on this — a
+    // retransmission timer armed just before a run_until boundary must still
+    // fire once a later run covers its expiry.
+    Simulator sim;
+    std::vector<int> fired;
+    sim.at(SimTime::seconds(1), [&]() { fired.push_back(1); });
+    sim.at(SimTime::seconds(10), [&]() { fired.push_back(10); });
+    sim.run_until(SimTime::seconds(5));
+    EXPECT_EQ(fired, (std::vector<int>{1}));
+    EXPECT_EQ(sim.pending_events(), 1U);
+    sim.run_until(SimTime::seconds(15));
+    EXPECT_EQ(fired, (std::vector<int>{1, 10}));
+    EXPECT_EQ(sim.now(), SimTime::seconds(10));  // queue drained before 15 s
 }
 
 TEST(SimulatorTest, EventsCanScheduleEvents) {
@@ -525,6 +543,252 @@ TEST(TcpTest, NoLossMeansNoRetransmissions) {
     bed.sim.run_all();
     EXPECT_EQ(conn.retransmitted_segments(), 0U);
     EXPECT_EQ(bed.cloud.data_segments_dropped(), 0U);
+}
+
+// ------------------------------------------- tcp under adversarial faults
+//
+// Scripted frame drops through fault::ImpairmentModel pick off *exactly* the
+// control segment under test: the model's per-direction frame index counts
+// every frame on the link, and these testbeds carry nothing but the one
+// connection. Drops happen before the AP capture tap, so the capture shows
+// the repair conversation exactly as a real sniffer would — the lost frame
+// absent, its byte-identical retransmission present.
+
+TEST(TcpFaultTest, LostSynIsRetransmittedAndConnectionCompletes) {
+    Testbed bed;
+    fault::FaultSpec spec;
+    spec.drop_uplink_frames = {0};  // the original SYN
+    fault::ImpairmentModel model(spec, 3, 1);
+    bed.ap.set_impairment(&model);
+
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(500, 0xBB); });
+    bool established = false;
+    Bytes response;
+    conn.connect([&]() { established = true; });
+    conn.exchange(Bytes(700, 0xAA), [&](Bytes r) { response = std::move(r); });
+    bed.sim.run_all();
+
+    EXPECT_TRUE(established);
+    EXPECT_EQ(response.size(), 500U);
+    EXPECT_GT(conn.control_retransmits(), 0U);
+    EXPECT_EQ(model.dropped(), 1U);
+    // Only the retransmitted SYN reaches the tap (the original died on the
+    // link), and the handshake still parses as one clean flow.
+    int syn_up = 0;
+    for (const auto& raw : bed.capture) {
+        const auto packet = net::parse_packet(raw).value();
+        if (packet.tcp->has(net::TcpFlags::kSyn) && packet.ip->source == bed.tv.ip()) ++syn_up;
+    }
+    EXPECT_EQ(syn_up, 1);
+}
+
+TEST(TcpFaultTest, LostSynAckIsReplayedWithoutConsumingSequenceSpace) {
+    Testbed bed;
+    fault::FaultSpec spec;
+    spec.drop_downlink_frames = {0};  // the SYN-ACK
+    fault::ImpairmentModel model(spec, 3, 1);
+    bed.ap.set_impairment(&model);
+
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(500, 0xBB); });
+    bool established = false;
+    Bytes response;
+    conn.connect([&]() { established = true; });
+    conn.exchange(Bytes(700, 0xAA), [&](Bytes r) { response = std::move(r); });
+    bed.sim.run_all();
+
+    EXPECT_TRUE(established);
+    EXPECT_EQ(response.size(), 500U);
+    EXPECT_GT(conn.control_retransmits(), 0U);
+
+    // The client's SYN timer fired and resent the SYN; the server answered
+    // the duplicate by replaying its SYN-ACK at the recorded ISS. Both SYNs
+    // are on the wire with the *same* sequence number — retransmission must
+    // never consume fresh sequence space.
+    std::vector<std::uint32_t> syn_seqs;
+    int syn_ack_down = 0;
+    for (const auto& raw : bed.capture) {
+        const auto packet = net::parse_packet(raw).value();
+        if (!packet.tcp->has(net::TcpFlags::kSyn)) continue;
+        if (packet.ip->source == bed.tv.ip()) {
+            syn_seqs.push_back(packet.tcp->sequence);
+        } else {
+            ++syn_ack_down;
+        }
+    }
+    ASSERT_EQ(syn_seqs.size(), 2U);
+    EXPECT_EQ(syn_seqs[0], syn_seqs[1]);
+    EXPECT_EQ(syn_ack_down, 1);  // the original died before the tap
+}
+
+TEST(TcpFaultTest, LostFinIsRetransmittedAndCloseCompletes) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(500, 0xBB); });
+
+    // Installed only once the exchange is done, so the scripted indices
+    // count from the close conversation: the next two uplink frames (the
+    // final ACK and/or the FIN, depending on emission order) are lost.
+    fault::FaultSpec spec;
+    spec.drop_uplink_frames = {0, 1};
+    fault::ImpairmentModel model(spec, 3, 1);
+
+    bool closed = false;
+    conn.connect([&]() {
+        conn.exchange(Bytes(700, 0xAA), [&](Bytes) {
+            bed.ap.set_impairment(&model);
+            conn.close([&]() { closed = true; });
+        });
+    });
+    bed.sim.run_all();
+
+    EXPECT_TRUE(closed);
+    EXPECT_TRUE(conn.closed());
+    EXPECT_GT(conn.control_retransmits(), 0U);
+    EXPECT_EQ(model.dropped(), 2U);
+}
+
+TEST(TcpFaultTest, LostCloseRepliesAreRepairedByDuplicateFin) {
+    Testbed bed;
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(500, 0xBB); });
+
+    // Mirror image of the test above: the server's ACK and FIN-ACK die on
+    // the downlink, the client's FIN timer fires, and the duplicate FIN is
+    // answered with a byte-identical replay.
+    fault::FaultSpec spec;
+    spec.drop_downlink_frames = {0, 1};
+    fault::ImpairmentModel model(spec, 3, 1);
+
+    bool closed = false;
+    conn.connect([&]() {
+        conn.exchange(Bytes(700, 0xAA), [&](Bytes) {
+            bed.ap.set_impairment(&model);
+            conn.close([&]() { closed = true; });
+        });
+    });
+    bed.sim.run_all();
+
+    EXPECT_TRUE(closed);
+    EXPECT_TRUE(conn.closed());
+    EXPECT_GT(conn.control_retransmits(), 0U);
+
+    // Both copies of the client FIN made it to the wire at the same
+    // sequence number.
+    std::vector<std::uint32_t> fin_seqs;
+    for (const auto& raw : bed.capture) {
+        const auto packet = net::parse_packet(raw).value();
+        if (packet.tcp->has(net::TcpFlags::kFin) && packet.ip->source == bed.tv.ip()) {
+            fin_seqs.push_back(packet.tcp->sequence);
+        }
+    }
+    ASSERT_GE(fin_seqs.size(), 2U);
+    for (const auto seq : fin_seqs) EXPECT_EQ(seq, fin_seqs[0]);
+}
+
+TEST(TcpFaultTest, DuplicateStormDoesNotCorruptTheStream) {
+    // 80% frame duplication in both directions: duplicated data must be
+    // discarded by the receiver, and duplicated ACKs may at worst trigger a
+    // spurious fast retransmit — never corruption or double delivery.
+    Testbed bed;
+    fault::FaultSpec spec;
+    spec.duplicate = 0.8;
+    fault::ImpairmentModel model(spec, 11, 1);
+    bed.ap.set_impairment(&model);
+
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    Bytes seen;
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server, [&](BytesView request) {
+        seen.assign(request.begin(), request.end());
+        Bytes response(20000);
+        for (std::size_t i = 0; i < response.size(); ++i) {
+            response[i] = static_cast<std::uint8_t>(i * 11);
+        }
+        return response;
+    });
+    Bytes request(15000);
+    for (std::size_t i = 0; i < request.size(); ++i) {
+        request[i] = static_cast<std::uint8_t>(i * 3);
+    }
+    int responses = 0;
+    Bytes response;
+    conn.connect([&]() {
+        conn.exchange(request, [&](Bytes r) {
+            ++responses;
+            response = std::move(r);
+        });
+    });
+    bed.sim.run_all();
+
+    EXPECT_EQ(seen, request);
+    EXPECT_EQ(responses, 1);
+    ASSERT_EQ(response.size(), 20000U);
+    for (std::size_t i = 0; i < response.size(); ++i) {
+        ASSERT_EQ(response[i], static_cast<std::uint8_t>(i * 11)) << i;
+    }
+    EXPECT_GT(model.duplicated(), 0U);
+}
+
+TEST(TcpFaultTest, HandshakeGivesUpCleanlyWhenLinkNeverComesBack) {
+    // The link is down for the whole run: every SYN dies, the retry budget
+    // is spent with full exponential backoff, and the connection reports a
+    // clean terminal failure instead of hanging or crashing run_all.
+    Testbed bed;
+    fault::FaultSpec spec;
+    spec.outages.push_back({SimTime{}, SimTime::minutes(10)});
+    fault::ImpairmentModel model(spec, 3, 1);
+    bed.ap.set_impairment(&model);
+
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server,
+                       [](BytesView) { return Bytes(1, 0); });
+    bool established = false;
+    conn.connect([&]() { established = true; });
+    bed.sim.run_all();
+
+    EXPECT_FALSE(established);
+    EXPECT_TRUE(conn.closed());
+    EXPECT_EQ(conn.control_retransmits(), 8U);  // TcpConfig::max_ctrl_retries
+    EXPECT_TRUE(bed.capture.empty());           // nothing survived to the tap
+}
+
+TEST(TcpFaultTest, RetransmissionTimerSurvivesRunUntilBoundary) {
+    // A data segment is lost, arming the RTO; the first run_until deadline
+    // falls between the loss and the timer's expiry. The parked timer must
+    // fire in the next run and repair the stream (the TCP-level face of
+    // SimulatorTest.EventsPastDeadlineSurviveToNextRun).
+    Testbed bed;
+    fault::FaultSpec spec;
+    spec.drop_uplink_frames = {2};  // frames: 0 SYN, 1 handshake ACK, 2 first data
+    fault::ImpairmentModel model(spec, 3, 1);
+    bed.ap.set_impairment(&model);
+
+    const net::Endpoint server{Ipv4Address(20, 30, 40, 50), 443};
+    Bytes seen;
+    TcpConnection conn(bed.sim, bed.tv, bed.cloud, server, [&](BytesView request) {
+        seen.assign(request.begin(), request.end());
+        return Bytes(200, 0xBB);
+    });
+    Bytes response;
+    conn.connect([&]() {
+        conn.exchange(Bytes(1000, 0xAA), [&](Bytes r) { response = std::move(r); });
+    });
+
+    // Park the clock before the ~250 ms RTO can fire; the repair must not
+    // have happened yet.
+    bed.sim.run_until(SimTime::millis(100));
+    EXPECT_TRUE(response.empty());
+    EXPECT_EQ(conn.retransmitted_segments(), 0U);
+
+    bed.sim.run_all();
+    EXPECT_EQ(seen.size(), 1000U);
+    EXPECT_EQ(response.size(), 200U);
+    EXPECT_GE(conn.retransmitted_segments(), 1U);
 }
 
 // ---------------------------------------------------------------------- tls

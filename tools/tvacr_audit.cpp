@@ -4,6 +4,7 @@
 //               [--scenario idle|linear|fast|ott|hdmi|cast]
 //               [--minutes N] [--seed N] [--jobs N] [--json out.json] [--mitm]
 //               [--metrics m.json] [--trace t.json]
+//               [--faults canonical|none|<spec>]
 //
 // Runs an opted-in capture and an opted-out control, identifies the ACR
 // endpoints from traffic alone, geolocates them, reports what the operator
@@ -11,7 +12,9 @@
 // interception proxy. --json writes the machine-readable report. --metrics
 // writes the merged deterministic metrics (byte-identical for any --jobs);
 // --trace records sim-time spans and writes a Chrome trace_event file
-// (".csv" suffix switches either output to CSV).
+// (".csv" suffix switches either output to CSV). --faults audits over an
+// impaired link ("canonical" is the reference scenario; see fault/spec.hpp
+// for the inline syntax).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +25,7 @@
 #include "core/export.hpp"
 #include "core/matrix_runner.hpp"
 #include "core/mitm_audit.hpp"
+#include "fault/spec.hpp"
 #include "obs/io.hpp"
 
 using namespace tvacr;
@@ -33,7 +37,8 @@ int usage(const char* argv0) {
                  "usage: %s [--brand samsung|lg] [--country uk|us]\n"
                  "          [--scenario idle|linear|fast|ott|hdmi|cast]\n"
                  "          [--minutes N] [--seed N] [--jobs N] [--json out.json] [--mitm]\n"
-                 "          [--metrics m.json] [--trace t.json]\n",
+                 "          [--metrics m.json] [--trace t.json]\n"
+                 "          [--faults canonical|none|<spec>]\n",
                  argv0);
     return 2;
 }
@@ -85,6 +90,13 @@ int main(int argc, char** argv) {
             metrics_path = value;
         } else if (key == "--trace") {
             trace_path = value;
+        } else if (key == "--faults") {
+            const auto parsed = fault::parse_fault_spec(value);
+            if (!parsed.spec) {
+                std::fprintf(stderr, "bad --faults spec: %s\n", parsed.error.c_str());
+                return usage(argv[0]);
+            }
+            config.faults = *parsed.spec;
         } else {
             return usage(argv[0]);
         }
@@ -105,6 +117,7 @@ int main(int argc, char** argv) {
         spec.scenario = config.scenario;
         spec.duration = config.duration;
         spec.seed = config.seed;
+        spec.faults = config.faults;
         std::cout << "\n" << core::MitmAudit::run(spec).render();
     }
 

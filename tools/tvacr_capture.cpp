@@ -5,16 +5,20 @@
 //                 [--phase lin-oin|lout-oin|lin-oout|lout-oout]
 //                 [--minutes N] [--seed N] [--out capture.pcap]
 //                 [--format pcap|pcapng] [--metrics m.json] [--trace t.json]
+//                 [--faults canonical|none|<spec>]
 //
 // The produced file opens in Wireshark and feeds straight into
 // tvacr_analyze. --metrics writes the run's deterministic metrics; --trace
 // records sim-time spans as a Chrome trace_event file (".csv" suffix
-// switches either output to CSV).
+// switches either output to CSV). --faults runs the experiment over an
+// impaired link ("canonical" is the reference scenario; an inline spec looks
+// like "loss=0.05,outage=60s+15s" — see fault/spec.hpp).
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "fault/spec.hpp"
 #include "net/pcap.hpp"
 #include "net/pcapng.hpp"
 #include "obs/io.hpp"
@@ -29,7 +33,8 @@ int usage(const char* argv0) {
                  "          [--scenario idle|linear|fast|ott|hdmi|cast]\n"
                  "          [--phase lin-oin|lout-oin|lin-oout|lout-oout]\n"
                  "          [--minutes N] [--seed N] [--out capture.pcap]\n"
-                 "          [--format pcap|pcapng] [--metrics m.json] [--trace t.json]\n",
+                 "          [--format pcap|pcapng] [--metrics m.json] [--trace t.json]\n"
+                 "          [--faults canonical|none|<spec>]\n",
                  argv0);
     return 2;
 }
@@ -90,6 +95,13 @@ int main(int argc, char** argv) {
             metrics_path = value;
         } else if (key == "--trace") {
             trace_path = value;
+        } else if (key == "--faults") {
+            const auto parsed = fault::parse_fault_spec(value);
+            if (!parsed.spec) {
+                std::fprintf(stderr, "bad --faults spec: %s\n", parsed.error.c_str());
+                return usage(argv[0]);
+            }
+            spec.faults = *parsed.spec;
         } else {
             return usage(argv[0]);
         }
