@@ -5,8 +5,21 @@
 namespace tvacr::analysis {
 
 void DnsMap::ingest(const net::ParsedPacket& packet) {
-    if (!packet.udp || packet.udp->source_port != dns::kDnsPort) return;
-    auto message = dns::DnsMessage::decode(packet.payload);
+    const std::uint64_t index = ingest_counter_++;
+    ingest_response(packet.udp && packet.udp->source_port == dns::kDnsPort, packet.payload,
+                    packet.timestamp, index);
+}
+
+void DnsMap::ingest(const net::PacketView& packet, std::uint64_t packet_index) {
+    if (packet_index >= ingest_counter_) ingest_counter_ = packet_index + 1;
+    ingest_response(packet.udp && packet.udp->source_port == dns::kDnsPort, packet.payload,
+                    packet.timestamp, packet_index);
+}
+
+void DnsMap::ingest_response(bool from_dns_port, BytesView payload, SimTime timestamp,
+                             std::uint64_t packet_index) {
+    if (!from_dns_port) return;
+    auto message = dns::DnsMessage::decode(payload);
     if (!message || !message.value().is_response) return;
     ++responses_seen_;
     if (message.value().questions.empty()) return;
@@ -15,12 +28,12 @@ void DnsMap::ingest(const net::ParsedPacket& packet) {
     auto& entry = by_name_[queried];
     if (entry.name.empty()) {
         entry.name = queried;
-        entry.first_seen = packet.timestamp;
+        entry.first_seen = timestamp;
     }
     for (const auto& record : message.value().answers) {
         if (record.type != dns::RecordType::kA) continue;
         const auto address = std::get<net::Ipv4Address>(record.rdata);
-        by_address_.emplace(address, queried);  // first mapping wins
+        by_address_.emplace(address, Mapping{queried, packet_index});  // first mapping wins
         entry.addresses.push_back(address);
     }
 }
@@ -28,7 +41,12 @@ void DnsMap::ingest(const net::ParsedPacket& packet) {
 std::optional<std::string> DnsMap::domain_of(net::Ipv4Address address) const {
     const auto it = by_address_.find(address);
     if (it == by_address_.end()) return std::nullopt;
-    return it->second;
+    return it->second.domain;
+}
+
+const DnsMap::Mapping* DnsMap::mapping_of(net::Ipv4Address address) const {
+    const auto it = by_address_.find(address);
+    return it == by_address_.end() ? nullptr : &it->second;
 }
 
 std::vector<DnsMap::QueriedName> DnsMap::queried_names() const {

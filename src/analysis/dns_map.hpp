@@ -22,9 +22,28 @@ class DnsMap {
     /// mappings, everything else is ignored.
     void ingest(const net::ParsedPacket& packet);
 
+    /// Zero-copy variant for the streaming path. `packet_index` is the
+    /// packet's position in capture order; it records *when* a mapping was
+    /// born so sharded attribution can replay the serial path's
+    /// mapping-known-yet decision for packets processed out of order.
+    void ingest(const net::PacketView& packet, std::uint64_t packet_index);
+
+    /// An address mapping plus the capture position that created it.
+    struct Mapping {
+        std::string domain;
+        std::uint64_t birth_index = 0;
+    };
+
     /// Domain a server IP was resolved from, if seen. When several names
     /// resolved to one IP, the first seen wins (stable attribution).
     [[nodiscard]] std::optional<std::string> domain_of(net::Ipv4Address address) const;
+
+    /// The full mapping (domain + birth index), or nullptr if the address
+    /// was never resolved. A packet at capture position i sees the mapping
+    /// iff mapping->birth_index <= i — the DNS response packet itself
+    /// counts, because the serial analyzer harvests DNS before attributing
+    /// the same packet.
+    [[nodiscard]] const Mapping* mapping_of(net::Ipv4Address address) const;
 
     /// All names the device queried, with first-seen capture time.
     struct QueriedName {
@@ -38,9 +57,13 @@ class DnsMap {
     [[nodiscard]] std::uint64_t responses_seen() const noexcept { return responses_seen_; }
 
   private:
-    std::unordered_map<net::Ipv4Address, std::string> by_address_;
+    void ingest_response(bool from_dns_port, BytesView payload, SimTime timestamp,
+                         std::uint64_t packet_index);
+
+    std::unordered_map<net::Ipv4Address, Mapping> by_address_;
     std::map<std::string, QueriedName> by_name_;
     std::uint64_t responses_seen_ = 0;
+    std::uint64_t ingest_counter_ = 0;
 };
 
 }  // namespace tvacr::analysis

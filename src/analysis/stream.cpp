@@ -1,0 +1,201 @@
+#include "analysis/stream.hpp"
+
+#include <algorithm>
+#include <future>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "net/pcap.hpp"
+
+namespace tvacr::analysis {
+
+namespace {
+
+std::size_t resolve_shards(const StreamOptions& options) {
+    if (options.shards > 0) return options.shards;
+    if (options.pool != nullptr) return options.pool->worker_count();
+    return 1;
+}
+
+}  // namespace
+
+StreamingCaptureAnalyzer::StreamingCaptureAnalyzer(net::Ipv4Address device_ip,
+                                                   StreamOptions options)
+    : device_ip_(device_ip), pool_(options.pool), shards_(resolve_shards(options)) {}
+
+void StreamingCaptureAnalyzer::ingest(BytesView frame, SimTime timestamp) {
+    const std::uint64_t index = packets_total_++;
+    auto parsed = net::parse_packet_view(frame, timestamp);
+    if (!parsed || !parsed.value().ip) {
+        ++unparseable_;
+        return;
+    }
+    dns_.ingest(parsed.value(), index);
+
+    const auto& ip = *parsed.value().ip;
+    const bool up = ip.source == device_ip_;
+    const bool down = ip.destination == device_ip_;
+    if (!up && !down) return;  // not the device's traffic (should not happen)
+
+    PacketMeta meta;
+    meta.index = index;
+    meta.timestamp = timestamp;
+    meta.frame_bytes = static_cast<std::uint32_t>(frame.size());
+    meta.remote = up ? ip.destination : ip.source;
+    meta.device_to_server = up;
+    // splitmix64 partitioning: deterministic across platforms and runs, and
+    // well-mixed even for adjacent addresses in one subnet.
+    const std::size_t shard = static_cast<std::size_t>(
+        splitmix64(meta.remote.value()) % shards_.size());
+    shards_[shard].push_back(meta);
+}
+
+StreamingCaptureAnalyzer::ShardPartial StreamingCaptureAnalyzer::attribute_shard(
+    const std::vector<PacketMeta>& metas) const {
+    ShardPartial partial;
+    // Per-remote route cache: the mapping lookup and the domain-slot binding
+    // happen once per (address, resolved-state), not once per packet.
+    struct IpRoute {
+        const DnsMap::Mapping* mapping = nullptr;
+        PartialDomain* resolved = nullptr;
+        PartialDomain* unresolved = nullptr;
+        bool looked_up = false;
+    };
+    std::unordered_map<std::uint32_t, IpRoute> routes;
+    routes.reserve(64);
+
+    for (const auto& meta : metas) {
+        IpRoute& route = routes[meta.remote.value()];
+        if (!route.looked_up) {
+            route.mapping = dns_.mapping_of(meta.remote);
+            route.looked_up = true;
+        }
+        // A mapping only exists for this packet if its DNS response appeared
+        // at or before this capture position (the response packet itself
+        // counts: the serial path harvests DNS before attributing).
+        const bool resolved = route.mapping != nullptr && route.mapping->birth_index <= meta.index;
+        PartialDomain*& slot = resolved ? route.resolved : route.unresolved;
+        if (slot == nullptr) {
+            const std::string domain =
+                resolved ? route.mapping->domain : "unresolved:" + meta.remote.to_string();
+            slot = &partial[domain];
+            slot->addresses.emplace_back(meta.remote, meta.index);
+        }
+        slot->packets += 1;
+        if (meta.device_to_server) {
+            slot->bytes_up += meta.frame_bytes;
+        } else {
+            slot->bytes_down += meta.frame_bytes;
+        }
+        slot->events.push_back(PacketEvent{meta.timestamp, meta.frame_bytes,
+                                           meta.device_to_server});
+        slot->event_indices.push_back(meta.index);
+    }
+    return partial;
+}
+
+CaptureAnalyzer StreamingCaptureAnalyzer::finish() {
+    // Pass 2: attribute each shard, in parallel when a pool is available.
+    std::vector<ShardPartial> partials(shards_.size());
+    if (pool_ != nullptr && shards_.size() > 1) {
+        std::vector<std::future<ShardPartial>> futures;
+        futures.reserve(shards_.size());
+        for (const auto& metas : shards_) {
+            futures.push_back(pool_->submit([this, &metas] { return attribute_shard(metas); }));
+        }
+        for (std::size_t s = 0; s < futures.size(); ++s) partials[s] = futures[s].get();
+    } else {
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            partials[s] = attribute_shard(shards_[s]);
+        }
+    }
+
+    // Deterministic merge: one domain can collect traffic in several shards
+    // (multiple resolved addresses); k-way merging on the global capture
+    // index restores exactly the serial ingest order.
+    std::map<std::string, std::vector<PartialDomain*>> by_domain;
+    for (auto& partial : partials) {
+        for (auto& [name, domain] : partial) by_domain[name].push_back(&domain);
+    }
+
+    std::map<std::string, DomainStats> merged;
+    for (auto& [name, parts] : by_domain) {
+        DomainStats stats;
+        stats.domain = name;
+        std::size_t total_events = 0;
+        for (const PartialDomain* part : parts) {
+            stats.packets += part->packets;
+            stats.bytes_up += part->bytes_up;
+            stats.bytes_down += part->bytes_down;
+            total_events += part->events.size();
+        }
+        stats.events.reserve(total_events);
+
+        // Addresses in global first-seen order. An address lives in exactly
+        // one shard, so the gathered pairs are already unique.
+        std::vector<std::pair<net::Ipv4Address, std::uint64_t>> addresses;
+        for (const PartialDomain* part : parts) {
+            addresses.insert(addresses.end(), part->addresses.begin(), part->addresses.end());
+        }
+        std::sort(addresses.begin(), addresses.end(),
+                  [](const auto& a, const auto& b) { return a.second < b.second; });
+        stats.addresses.reserve(addresses.size());
+        for (const auto& entry : addresses) stats.addresses.push_back(entry.first);
+
+        // K-way merge of the per-shard event streams by capture index.
+        // Within a shard the indices are strictly increasing, and indices
+        // are globally unique, so repeatedly taking the smallest head
+        // reproduces capture order. k is bounded by the shard count.
+        std::vector<std::size_t> cursor(parts.size(), 0);
+        for (std::size_t taken = 0; taken < total_events; ++taken) {
+            std::size_t best = parts.size();
+            std::uint64_t best_index = 0;
+            for (std::size_t k = 0; k < parts.size(); ++k) {
+                if (cursor[k] >= parts[k]->event_indices.size()) continue;
+                const std::uint64_t head = parts[k]->event_indices[cursor[k]];
+                if (best == parts.size() || head < best_index) {
+                    best = k;
+                    best_index = head;
+                }
+            }
+            stats.events.push_back(parts[best]->events[cursor[best]]);
+            ++cursor[best];
+        }
+        if (!stats.events.empty()) {
+            stats.first_seen = stats.events.front().timestamp;
+            stats.last_seen = stats.events.back().timestamp;
+        }
+        merged.emplace(name, std::move(stats));
+    }
+
+    CaptureAnalyzer analyzer(device_ip_, std::move(dns_), std::move(merged), packets_total_,
+                             unparseable_);
+    for (auto& shard : shards_) shard.clear();
+    dns_ = DnsMap{};
+    packets_total_ = 0;
+    unparseable_ = 0;
+    return analyzer;
+}
+
+Result<CaptureAnalyzer> analyze_pcap_stream(const std::string& path, net::Ipv4Address device_ip,
+                                            StreamOptions options) {
+    auto reader = net::PcapReader::open(path);
+    if (!reader) return reader.error();
+    StreamingCaptureAnalyzer analyzer(device_ip, options);
+    while (true) {
+        auto record = reader.value().next();
+        if (!record) return record.error();
+        if (!record.value().has_value()) break;
+        analyzer.ingest(record.value()->frame, record.value()->timestamp);
+    }
+    return analyzer.finish();
+}
+
+CaptureAnalyzer analyze_packets(const std::vector<net::Packet>& packets,
+                                net::Ipv4Address device_ip, StreamOptions options) {
+    StreamingCaptureAnalyzer analyzer(device_ip, options);
+    for (const auto& packet : packets) analyzer.ingest(packet);
+    return analyzer.finish();
+}
+
+}  // namespace tvacr::analysis

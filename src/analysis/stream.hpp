@@ -1,0 +1,107 @@
+// Streaming, flow-sharded capture analysis.
+//
+// The serial CaptureAnalyzer walks a fully materialized capture packet by
+// packet. This engine produces the *identical* analyzer — byte-for-byte on
+// every report and JSON output — while (a) consuming packets incrementally
+// (pair it with net::PcapReader so whole captures never sit in RAM) and
+// (b) parallelizing per-domain attribution across shards partitioned by
+// remote endpoint.
+//
+// How identity with the serial path is preserved:
+//   - Pass 1 (capture order, caller's thread): zero-copy parse, DNS
+//     harvesting, and direction/remote extraction. Each attributable packet
+//     is reduced to a compact PacketMeta and bucketed by a deterministic
+//     hash of its remote address. DnsMap records the capture index at which
+//     every IP->domain mapping was born.
+//   - Pass 2 (one task per shard, optionally on a ThreadPool): each shard
+//     attributes its packets using mapping_of() gated on birth_index, which
+//     replays the serial path's "was the mapping known yet?" decision even
+//     though shards run out of capture order.
+//   - Merge (caller's thread): per-domain partials from all shards are
+//     k-way merged on global packet index, restoring capture order for
+//     events, address first-seen order, and first/last-seen timestamps.
+// The result is invariant across shard counts and worker counts; the golden
+// capture tests enforce that byte-identity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/traffic.hpp"
+#include "common/thread_pool.hpp"
+#include "net/packet.hpp"
+
+namespace tvacr::analysis {
+
+struct StreamOptions {
+    /// Number of remote-endpoint partitions. 0 picks the pool's worker
+    /// count (or 1 without a pool). Any value yields identical results.
+    std::size_t shards = 0;
+    /// Pool for the per-shard attribution tasks; nullptr runs them inline.
+    common::ThreadPool* pool = nullptr;
+};
+
+class StreamingCaptureAnalyzer {
+  public:
+    explicit StreamingCaptureAnalyzer(net::Ipv4Address device_ip, StreamOptions options = {});
+
+    /// Ingests one captured frame (order must be capture order). The frame
+    /// bytes are only borrowed for the duration of the call.
+    void ingest(BytesView frame, SimTime timestamp);
+    void ingest(const net::Packet& packet) { ingest(packet.data, packet.timestamp); }
+
+    /// Runs the sharded attribution + deterministic merge and returns the
+    /// assembled analyzer. Call once; the builder is drained by the call.
+    [[nodiscard]] CaptureAnalyzer finish();
+
+    [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_total_; }
+    [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  private:
+    /// Everything pass 2 needs about one attributable packet: 32 bytes
+    /// instead of the full frame.
+    struct PacketMeta {
+        std::uint64_t index = 0;  // capture position, globally unique
+        SimTime timestamp;
+        std::uint32_t frame_bytes = 0;
+        net::Ipv4Address remote;
+        bool device_to_server = false;
+    };
+
+    /// Per-shard, per-domain accumulation; merged across shards in finish().
+    struct PartialDomain {
+        std::vector<std::pair<net::Ipv4Address, std::uint64_t>> addresses;  // (addr, first idx)
+        std::uint64_t packets = 0;
+        std::uint64_t bytes_up = 0;
+        std::uint64_t bytes_down = 0;
+        std::vector<PacketEvent> events;          // capture order within the shard
+        std::vector<std::uint64_t> event_indices;  // parallel to events
+    };
+    using ShardPartial = std::map<std::string, PartialDomain>;
+
+    [[nodiscard]] ShardPartial attribute_shard(const std::vector<PacketMeta>& metas) const;
+
+    net::Ipv4Address device_ip_;
+    common::ThreadPool* pool_ = nullptr;
+    DnsMap dns_;
+    std::vector<std::vector<PacketMeta>> shards_;
+    std::uint64_t packets_total_ = 0;
+    std::uint64_t unparseable_ = 0;
+};
+
+/// Streams a pcap file through the sharded analyzer. The capture is never
+/// fully materialized; peak memory is the reader's buffer plus the compact
+/// per-packet metadata.
+[[nodiscard]] Result<CaptureAnalyzer> analyze_pcap_stream(const std::string& path,
+                                                          net::Ipv4Address device_ip,
+                                                          StreamOptions options = {});
+
+/// Runs the sharded engine over an in-memory capture (same result as the
+/// serial CaptureAnalyzer::ingest_all, proven by the byte-identity tests).
+[[nodiscard]] CaptureAnalyzer analyze_packets(const std::vector<net::Packet>& packets,
+                                              net::Ipv4Address device_ip,
+                                              StreamOptions options = {});
+
+}  // namespace tvacr::analysis

@@ -57,6 +57,17 @@ class CaptureAnalyzer {
     [[nodiscard]] std::uint64_t unparseable() const noexcept { return unparseable_; }
 
   private:
+    friend class StreamingCaptureAnalyzer;  // assembles analyzers from shard merges
+
+    CaptureAnalyzer(net::Ipv4Address device_ip, DnsMap dns,
+                    std::map<std::string, DomainStats> domains, std::uint64_t packets_total,
+                    std::uint64_t unparseable)
+        : device_ip_(device_ip),
+          dns_(std::move(dns)),
+          domains_(std::move(domains)),
+          packets_total_(packets_total),
+          unparseable_(unparseable) {}
+
     net::Ipv4Address device_ip_;
     DnsMap dns_;
     std::map<std::string, DomainStats> domains_;

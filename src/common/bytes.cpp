@@ -99,6 +99,13 @@ Result<Bytes> ByteReader::raw(std::size_t count) {
     return out;
 }
 
+Result<BytesView> ByteReader::view(std::size_t count) {
+    if (remaining() < count) return make_error("ByteReader: view read past end");
+    const BytesView out = data_.subspan(position_, count);
+    position_ += count;
+    return out;
+}
+
 Status ByteReader::skip(std::size_t count) {
     if (remaining() < count) return make_error("ByteReader: skip past end");
     position_ += count;

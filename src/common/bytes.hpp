@@ -60,6 +60,9 @@ class ByteReader {
     [[nodiscard]] Result<std::uint16_t> u16le();
     [[nodiscard]] Result<std::uint32_t> u32le();
     [[nodiscard]] Result<Bytes> raw(std::size_t count);
+    /// Zero-copy variant of raw(): a subspan of the underlying buffer. The
+    /// view is only valid while the buffer the reader was built over lives.
+    [[nodiscard]] Result<BytesView> view(std::size_t count);
     Status skip(std::size_t count);
 
     /// Absolute-position seek within the underlying buffer (DNS compression

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include "analysis/stream.hpp"
+
 namespace tvacr::core {
 
 std::string ExperimentSpec::name() const {
@@ -8,9 +10,14 @@ std::string ExperimentSpec::name() const {
 }
 
 analysis::CaptureAnalyzer ExperimentResult::analyze() const {
-    analysis::CaptureAnalyzer analyzer(device_ip);
-    analyzer.ingest_all(capture);
-    return analyzer;
+    // The sharded streaming engine, shard tasks run inline: experiments are
+    // already parallelized per-cell by MatrixRunner, so nesting a pool here
+    // would oversubscribe. The zero-copy parse still makes this the fast
+    // path, and the result is byte-identical to the serial analyzer (the
+    // golden-trace tests enforce it).
+    analysis::StreamOptions options;
+    options.shards = 4;
+    return analysis::analyze_packets(capture, device_ip, options);
 }
 
 TestbedConfig ExperimentRunner::testbed_config(const ExperimentSpec& spec) {

@@ -18,6 +18,22 @@ void write_full(ByteWriter& out, const CaptureRecord& record, bool has_audio) {
 }  // namespace
 
 Bytes FingerprintBatch::serialize(BatchEncoding encoding) const {
+    // The compact encodings store offsets in 15 bits of capture-period
+    // units. That fits any on-schedule batch (LG: 1500 records per 15 s
+    // window), but an outage backlog that accumulated for >= 2^15 periods
+    // before flushing does not — and masking the offset would silently
+    // alias it on round-trip. Such batches fall back to kRaw (full 32-bit
+    // offsets) instead of corrupting.
+    if (encoding == BatchEncoding::kCompactRaw || encoding == BatchEncoding::kCompactRle) {
+        const std::uint32_t period = std::max<std::uint32_t>(capture_period_ms, 1);
+        for (const auto& record : records) {
+            if (record.offset_ms / period > 0x7FFF) {
+                encoding = BatchEncoding::kRaw;
+                break;
+            }
+        }
+    }
+
     ByteWriter out(32 + records.size() * 13);
     out.u32(kMagic);
     out.u8(1);  // version
@@ -33,17 +49,16 @@ Bytes FingerprintBatch::serialize(BatchEncoding encoding) const {
         return std::move(out).take();
     }
     if (encoding == BatchEncoding::kCompactRaw || encoding == BatchEncoding::kCompactRle) {
-        // Offsets are stored in capture-period units, which fits 15 bits for
-        // any realistic batch (LG: 1500 records per 15 s window). In the RLE
-        // variant a run of identical records is collapsed into one record
-        // followed by a 16-bit marker with the high bit set and the repeat
-        // count in the low 15 bits.
+        // Offsets are stored in capture-period units (15 bits, checked
+        // above). In the RLE variant a run of identical records is
+        // collapsed into one record followed by a 16-bit marker with the
+        // high bit set and the repeat count in the low 15 bits.
         const bool rle = encoding == BatchEncoding::kCompactRle;
         const std::uint32_t period = std::max<std::uint32_t>(capture_period_ms, 1);
         std::size_t i = 0;
         while (i < records.size()) {
             const auto& record = records[i];
-            out.u16(static_cast<std::uint16_t>((record.offset_ms / period) & 0x7FFF));
+            out.u16(static_cast<std::uint16_t>(record.offset_ms / period));
             out.u64(record.video);
             out.u16(record.detail);
             if (has_audio) out.u32(record.audio);
@@ -124,6 +139,12 @@ Result<FingerprintBatch> FingerprintBatch::deserialize(BytesView wire) {
                 return make_error("FingerprintBatch: repeat marker before record");
             }
             record.offset_ms = offset_units.value() * period;
+            // Records are accumulated in capture order, so offsets are
+            // non-decreasing; a smaller offset than its predecessor can
+            // only come from a corrupt or offset-aliased wire image.
+            if (!batch.records.empty() && record.offset_ms < batch.records.back().offset_ms) {
+                return make_error("FingerprintBatch: offset went backwards");
+            }
             auto video = in.u64();
             if (!video) return video.error();
             record.video = video.value();

@@ -35,6 +35,15 @@ enum class BatchEncoding : std::uint8_t {
     kCompactRle = 3,  // compact records; runs collapse via a high-bit marker
 };
 
+/// Offset contract for the compact encodings: offsets are stored as
+/// capture-period units in 15 bits, so they must satisfy
+/// offset_ms / capture_period_ms <= 0x7FFF and be non-decreasing (records
+/// accumulate in capture order). serialize() enforces the range by falling
+/// back to kRaw when any offset exceeds it — a long outage backlog flush
+/// (acr_client hold-back) legitimately produces such batches — and
+/// deserialize() rejects wire images whose offsets go backwards, which is
+/// the signature of a masked/aliased offset.
+
 struct FingerprintBatch {
     static constexpr std::uint32_t kMagic = 0x41435242;  // "ACRB"
 

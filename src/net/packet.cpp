@@ -4,18 +4,17 @@
 
 namespace tvacr::net {
 
-Result<ParsedPacket> parse_packet(const Packet& packet) {
-    ByteReader reader(packet.data);
-    ParsedPacket out;
-    out.timestamp = packet.timestamp;
-    out.frame_size = packet.data.size();
+Result<PacketView> parse_packet_view(BytesView frame, SimTime timestamp) {
+    ByteReader reader(frame);
+    PacketView out;
+    out.timestamp = timestamp;
+    out.frame_size = frame.size();
 
     auto eth = EthernetHeader::decode(reader);
     if (!eth) return eth.error();
     out.ethernet = eth.value();
     if (out.ethernet.ether_type != EtherType::kIpv4) return out;  // non-IP frame: L2 only
 
-    const std::size_t ip_start = reader.position();
     auto ip = Ipv4Header::decode(reader);
     if (!ip) return ip.error();
     out.ip = ip.value();
@@ -35,9 +34,9 @@ Result<ParsedPacket> parse_packet(const Packet& packet) {
             if (!tcp) return tcp.error();
             out.tcp = tcp.value();
             const std::size_t header_len = reader.position() - transport_start;
-            auto payload = reader.raw(ip_payload_len - header_len);
+            auto payload = reader.view(ip_payload_len - header_len);
             if (!payload) return payload.error();
-            out.payload = std::move(payload).value();
+            out.payload = payload.value();
             break;
         }
         case IpProtocol::kUdp: {
@@ -47,19 +46,32 @@ Result<ParsedPacket> parse_packet(const Packet& packet) {
             if (udp.value().length < UdpHeader::kSize) {
                 return make_error("parse_packet: UDP length shorter than header");
             }
-            auto payload = reader.raw(udp.value().length - UdpHeader::kSize);
+            auto payload = reader.view(udp.value().length - UdpHeader::kSize);
             if (!payload) return payload.error();
-            out.payload = std::move(payload).value();
+            out.payload = payload.value();
             break;
         }
         default:
             // Unknown transport: keep the raw IP payload for byte accounting.
-            auto payload = reader.raw(ip_payload_len);
+            auto payload = reader.view(ip_payload_len);
             if (!payload) return payload.error();
-            out.payload = std::move(payload).value();
+            out.payload = payload.value();
             break;
     }
-    (void)ip_start;
+    return out;
+}
+
+Result<ParsedPacket> parse_packet(const Packet& packet) {
+    auto view = parse_packet_view(packet.data, packet.timestamp);
+    if (!view) return view.error();
+    ParsedPacket out;
+    out.timestamp = view.value().timestamp;
+    out.frame_size = view.value().frame_size;
+    out.ethernet = view.value().ethernet;
+    out.ip = view.value().ip;
+    out.tcp = view.value().tcp;
+    out.udp = view.value().udp;
+    out.payload.assign(view.value().payload.begin(), view.value().payload.end());
     return out;
 }
 

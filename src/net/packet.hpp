@@ -34,9 +34,31 @@ struct ParsedPacket {
     [[nodiscard]] bool is_udp() const noexcept { return udp.has_value(); }
 };
 
+/// Zero-copy decoded view of a frame: identical layer decoding to
+/// ParsedPacket, but the transport payload is a span into the frame buffer
+/// instead of a copy. Valid only while the frame bytes it was parsed from
+/// are alive and unmodified — the streaming analysis path parses each
+/// record into a view, extracts what it needs, and drops the frame.
+struct PacketView {
+    SimTime timestamp;
+    std::size_t frame_size = 0;
+    EthernetHeader ethernet;
+    std::optional<Ipv4Header> ip;
+    std::optional<TcpHeader> tcp;
+    std::optional<UdpHeader> udp;
+    BytesView payload;  // transport payload, aliasing the frame buffer
+
+    [[nodiscard]] bool is_tcp() const noexcept { return tcp.has_value(); }
+    [[nodiscard]] bool is_udp() const noexcept { return udp.has_value(); }
+};
+
 /// Parses an Ethernet/IPv4/{TCP,UDP} frame. Verifies the IPv4 header checksum
 /// and respects the IPv4 total-length field (ignoring Ethernet padding).
 [[nodiscard]] Result<ParsedPacket> parse_packet(const Packet& packet);
+
+/// Zero-copy parse of the same wire layers; parse_packet is this plus a
+/// payload copy, so the two can never disagree on accept/reject decisions.
+[[nodiscard]] Result<PacketView> parse_packet_view(BytesView frame, SimTime timestamp);
 
 /// Endpoint = address + port, for builder convenience.
 struct Endpoint {

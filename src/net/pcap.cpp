@@ -77,12 +77,20 @@ Result<std::vector<Packet>> from_pcap_bytes(BytesView data) {
     if (auto minor = read_u16(reader); !minor) return minor.error();
     if (major.value() != 2) return make_error("pcap: unsupported major version");
     if (auto s = reader.skip(8); !s) return s.error();  // thiszone + sigfigs
-    if (auto snaplen = read_u32(reader); !snaplen) return snaplen.error();
+    auto snaplen = read_u32(reader);
+    if (!snaplen) return snaplen.error();
     auto linktype = read_u32(reader);
     if (!linktype) return linktype.error();
     if (linktype.value() != kPcapLinkTypeEthernet) {
         return make_error("pcap: unsupported link type (want Ethernet)");
     }
+    // Records are checked against the snaplen this file declares, not our
+    // writer's compile-time kPcapSnapLen: foreign captures written with a
+    // larger snaplen are valid input. A zero or absurd declared value means
+    // "effectively unlimited" and is clamped to the structural maximum.
+    const std::uint32_t effective_snaplen =
+        (snaplen.value() == 0 || snaplen.value() > kPcapMaxSnapLen) ? kPcapMaxSnapLen
+                                                                    : snaplen.value();
 
     std::vector<Packet> packets;
     while (!reader.at_end()) {
@@ -94,7 +102,7 @@ Result<std::vector<Packet>> from_pcap_bytes(BytesView data) {
         auto incl_len = read_u32(reader);
         auto orig_len = read_u32(reader);
         if (!ts_sec || !ts_usec || !incl_len || !orig_len) break;
-        if (incl_len.value() > kPcapSnapLen) return make_error("pcap: record exceeds snaplen");
+        if (incl_len.value() > effective_snaplen) return make_error("pcap: record exceeds snaplen");
         if (reader.remaining() < incl_len.value()) break;
         auto body = reader.raw(incl_len.value());
         if (!body) return body.error();
@@ -120,6 +128,103 @@ Result<std::vector<Packet>> read_pcap_file(const std::string& path) {
     if (!file) return make_error("pcap: cannot open for reading: " + path);
     Bytes bytes((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
     return from_pcap_bytes(bytes);
+}
+
+// --------------------------------------------------------------- PcapReader
+
+PcapReader::~PcapReader() = default;
+PcapReader::PcapReader(PcapReader&&) noexcept = default;
+PcapReader& PcapReader::operator=(PcapReader&&) noexcept = default;
+
+std::size_t PcapReader::buffered(std::size_t need) {
+    if (end_ - begin_ >= need) return need;
+    // Compact: slide the unread tail to the front, then refill in chunks.
+    if (begin_ > 0) {
+        std::copy(buffer_.begin() + static_cast<std::ptrdiff_t>(begin_),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(end_), buffer_.begin());
+        end_ -= begin_;
+        begin_ = 0;
+    }
+    const std::size_t target = std::max(need, kChunkSize);
+    if (buffer_.size() < target) buffer_.resize(target);
+    while (end_ < need && !source_exhausted_) {
+        file_->read(reinterpret_cast<char*>(buffer_.data() + end_),
+                    static_cast<std::streamsize>(buffer_.size() - end_));
+        const std::size_t got = static_cast<std::size_t>(file_->gcount());
+        end_ += got;
+        if (got == 0 || file_->eof()) source_exhausted_ = true;
+    }
+    return std::min(need, end_ - begin_);
+}
+
+Result<PcapReader> PcapReader::open(const std::string& path) {
+    PcapReader reader;
+    reader.file_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+    if (!*reader.file_) return make_error("pcap: cannot open for reading: " + path);
+
+    if (reader.buffered(kPcapGlobalHeaderLen) < kPcapGlobalHeaderLen) {
+        return make_error("pcap: truncated file header");
+    }
+    ByteReader header(BytesView(reader.buffer_.data(), kPcapGlobalHeaderLen));
+    auto magic = header.u32le();
+    if (!magic) return magic.error();
+    if (magic.value() == kPcapMagicMicros) {
+        reader.swapped_ = false;
+    } else if (magic.value() == 0xD4C3B2A1) {
+        reader.swapped_ = true;
+    } else {
+        return make_error("pcap: unrecognized magic number");
+    }
+    const auto read_u32 = [&](ByteReader& r) { return reader.swapped_ ? r.u32() : r.u32le(); };
+    const auto read_u16 = [&](ByteReader& r) { return reader.swapped_ ? r.u16() : r.u16le(); };
+    auto major = read_u16(header);
+    if (!major) return major.error();
+    if (major.value() != 2) return make_error("pcap: unsupported major version");
+    if (auto s = header.skip(10); !s) return s.error();  // minor + thiszone + sigfigs
+    auto snaplen = read_u32(header);
+    if (!snaplen) return snaplen.error();
+    auto linktype = read_u32(header);
+    if (!linktype) return linktype.error();
+    if (linktype.value() != kPcapLinkTypeEthernet) {
+        return make_error("pcap: unsupported link type (want Ethernet)");
+    }
+    reader.declared_snaplen_ = snaplen.value();
+    reader.effective_snaplen_ =
+        (snaplen.value() == 0 || snaplen.value() > kPcapMaxSnapLen) ? kPcapMaxSnapLen
+                                                                    : snaplen.value();
+    reader.begin_ += kPcapGlobalHeaderLen;
+    return reader;
+}
+
+Result<std::optional<PcapRecord>> PcapReader::next() {
+    if (done_) return std::optional<PcapRecord>(std::nullopt);
+    // Truncated trailing records (incomplete header or body) end the capture
+    // cleanly, matching from_pcap_bytes.
+    if (buffered(kPcapRecordHeaderLen) < kPcapRecordHeaderLen) {
+        done_ = true;
+        return std::optional<PcapRecord>(std::nullopt);
+    }
+    ByteReader header(BytesView(buffer_.data() + begin_, kPcapRecordHeaderLen));
+    const auto read_u32 = [&](ByteReader& r) { return swapped_ ? r.u32() : r.u32le(); };
+    auto ts_sec = read_u32(header);
+    auto ts_usec = read_u32(header);
+    auto incl_len = read_u32(header);
+    auto orig_len = read_u32(header);
+    if (!ts_sec || !ts_usec || !incl_len || !orig_len) return make_error("pcap: bad record header");
+    if (incl_len.value() > effective_snaplen_) return make_error("pcap: record exceeds snaplen");
+    const std::size_t need = kPcapRecordHeaderLen + incl_len.value();
+    if (buffered(need) < need) {
+        done_ = true;
+        return std::optional<PcapRecord>(std::nullopt);
+    }
+    PcapRecord record;
+    record.timestamp = SimTime::micros(static_cast<std::int64_t>(ts_sec.value()) * 1'000'000 +
+                                       ts_usec.value());
+    record.orig_len = orig_len.value();
+    record.frame = BytesView(buffer_.data() + begin_ + kPcapRecordHeaderLen, incl_len.value());
+    begin_ += need;
+    ++packets_read_;
+    return std::optional<PcapRecord>(record);
 }
 
 }  // namespace tvacr::net

@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,13 @@ namespace tvacr::net {
 inline constexpr std::uint32_t kPcapMagicMicros = 0xA1B2C3D4;
 inline constexpr std::uint32_t kPcapLinkTypeEthernet = 1;
 inline constexpr std::uint32_t kPcapSnapLen = 262144;
+/// Records are validated against the snaplen the file header declares, not
+/// kPcapSnapLen (foreign captures legitimately declare larger limits). Some
+/// writers declare "unlimited" (e.g. 0 or 0xFFFFFFFF); the effective limit
+/// is clamped here so a corrupt record length cannot demand a giant buffer.
+inline constexpr std::uint32_t kPcapMaxSnapLen = 64 * 1024 * 1024;
+inline constexpr std::size_t kPcapGlobalHeaderLen = 24;
+inline constexpr std::size_t kPcapRecordHeaderLen = 16;
 
 /// Streams packets into a pcap byte stream. The stream reference must outlive
 /// the writer. Timestamps are simulated time from t=0 (epoch offset 0).
@@ -43,5 +51,58 @@ class PcapWriter {
 /// File helpers.
 Status write_pcap_file(const std::string& path, const std::vector<Packet>& packets);
 [[nodiscard]] Result<std::vector<Packet>> read_pcap_file(const std::string& path);
+
+/// One record yielded by PcapReader. The frame span aliases the reader's
+/// internal buffer and is invalidated by the next call to next().
+struct PcapRecord {
+    SimTime timestamp;
+    std::uint32_t orig_len = 0;  // original frame size before snaplen capping
+    BytesView frame;
+};
+
+/// Buffered streaming pcap reader: yields one record at a time from disk
+/// without materializing the whole capture. Memory stays O(buffer) — a
+/// refill chunk plus the largest record seen — which is what lets the
+/// analysis pipeline handle captures far larger than RAM. Honors the file
+/// header's declared snaplen (clamped to kPcapMaxSnapLen) and tolerates a
+/// truncated trailing record exactly like from_pcap_bytes.
+class PcapReader {
+  public:
+    /// Refill granularity; records larger than this grow the buffer to fit.
+    static constexpr std::size_t kChunkSize = 256 * 1024;
+
+    /// Opens a pcap file and parses the global header.
+    [[nodiscard]] static Result<PcapReader> open(const std::string& path);
+
+    /// Next record, or nullopt at end of capture (clean EOF or tolerated
+    /// mid-record truncation). Errors are structural: bad record lengths.
+    [[nodiscard]] Result<std::optional<PcapRecord>> next();
+
+    [[nodiscard]] std::uint64_t packets_read() const noexcept { return packets_read_; }
+    /// The file header's declared snaplen, before clamping.
+    [[nodiscard]] std::uint32_t declared_snaplen() const noexcept { return declared_snaplen_; }
+
+    ~PcapReader();
+    PcapReader(PcapReader&&) noexcept;
+    PcapReader& operator=(PcapReader&&) noexcept;
+
+  private:
+    PcapReader() = default;
+
+    /// Ensures `need` contiguous unread bytes are buffered; returns how many
+    /// are actually available (short at EOF).
+    std::size_t buffered(std::size_t need);
+
+    std::unique_ptr<std::ifstream> file_;
+    Bytes buffer_;
+    std::size_t begin_ = 0;  // first unread byte in buffer_
+    std::size_t end_ = 0;    // one past the last valid byte in buffer_
+    bool source_exhausted_ = false;
+    bool done_ = false;
+    bool swapped_ = false;
+    std::uint32_t declared_snaplen_ = 0;
+    std::uint32_t effective_snaplen_ = 0;
+    std::uint64_t packets_read_ = 0;
+};
 
 }  // namespace tvacr::net

@@ -3,13 +3,18 @@
 // the ACR-domain identifier and report rendering.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "analysis/acr_detect.hpp"
 #include "analysis/cdf.hpp"
 #include "analysis/report.hpp"
+#include "analysis/stream.hpp"
 #include "analysis/timeseries.hpp"
 #include "analysis/traffic.hpp"
+#include "common/thread_pool.hpp"
+#include "net/pcap.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "dns/message.hpp"
@@ -108,6 +113,32 @@ TEST(CaptureAnalyzerTest, SortsByBytes) {
     const auto sorted = analyzer.domains_by_bytes();
     ASSERT_GE(sorted.size(), 2U);
     EXPECT_EQ(sorted[0]->domain, "big.example.com");
+}
+
+TEST(CaptureAnalyzerTest, EqualByteDomainsRankAlphabetically) {
+    // Regression: domains_by_bytes sorted with std::sort and no tie-break.
+    // With enough equal-byte domains (introsort permutes equal elements once
+    // past its 16-element insertion-sort threshold) the ranking depended on
+    // the sort's internal partitioning — nondeterministic across standard
+    // libraries, and a byte-diff in every rendered table. Ties now break
+    // alphabetically.
+    CaptureAnalyzer analyzer(kDevice);
+    const int kTies = 24;
+    for (int d = 0; d < kTies; ++d) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "tie%02d.example.com", d);
+        const Ipv4Address server(23, 1, 0, static_cast<std::uint8_t>(d + 1));
+        analyzer.ingest(dns_response_packet(name, server, SimTime::millis(d)));
+        analyzer.ingest(tcp_packet(kDevice, server, SimTime::millis(100 + d), 400));
+    }
+    std::vector<std::string> ranked;
+    for (const auto* stats : analyzer.domains_by_bytes()) {
+        if (stats->domain.rfind("tie", 0) == 0) ranked.push_back(stats->domain);
+    }
+    ASSERT_EQ(ranked.size(), static_cast<std::size_t>(kTies));
+    std::vector<std::string> expected = ranked;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(ranked, expected);
 }
 
 // -------------------------------------------------------------- timeseries
@@ -379,6 +410,133 @@ TEST(ReportTest, CumulativeCsv) {
     const auto csv = cumulative_to_csv({{SimTime::seconds(1), 100, 0.5}});
     EXPECT_NE(csv.find("time_s,bytes,fraction"), std::string::npos);
     EXPECT_NE(csv.find("1,100,0.5"), std::string::npos);
+}
+
+// ------------------------------------------------- streaming sharded engine
+
+/// Field-by-field identity of two analyzers' observable state: totals, DNS
+/// harvest, and every domain's counters, address order, timestamps, and
+/// full event stream. This is the contract the sharded engine must meet.
+void expect_same_analysis(const CaptureAnalyzer& serial, const CaptureAnalyzer& sharded) {
+    EXPECT_EQ(serial.packets_total(), sharded.packets_total());
+    EXPECT_EQ(serial.unparseable(), sharded.unparseable());
+    EXPECT_EQ(serial.dns().responses_seen(), sharded.dns().responses_seen());
+    EXPECT_EQ(serial.dns().mapping_count(), sharded.dns().mapping_count());
+    const auto lhs_names = serial.dns().queried_names();
+    const auto rhs_names = sharded.dns().queried_names();
+    ASSERT_EQ(lhs_names.size(), rhs_names.size());
+    for (std::size_t n = 0; n < lhs_names.size(); ++n) {
+        EXPECT_EQ(lhs_names[n].name, rhs_names[n].name);
+        EXPECT_EQ(lhs_names[n].first_seen, rhs_names[n].first_seen);
+        EXPECT_EQ(lhs_names[n].addresses, rhs_names[n].addresses);
+    }
+    const auto lhs = serial.domains_by_bytes();
+    const auto rhs = sharded.domains_by_bytes();
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (std::size_t d = 0; d < lhs.size(); ++d) {
+        SCOPED_TRACE(lhs[d]->domain);
+        EXPECT_EQ(lhs[d]->domain, rhs[d]->domain);
+        EXPECT_EQ(lhs[d]->addresses, rhs[d]->addresses);
+        EXPECT_EQ(lhs[d]->packets, rhs[d]->packets);
+        EXPECT_EQ(lhs[d]->bytes_up, rhs[d]->bytes_up);
+        EXPECT_EQ(lhs[d]->bytes_down, rhs[d]->bytes_down);
+        EXPECT_EQ(lhs[d]->first_seen, rhs[d]->first_seen);
+        EXPECT_EQ(lhs[d]->last_seen, rhs[d]->last_seen);
+        ASSERT_EQ(lhs[d]->events.size(), rhs[d]->events.size());
+        for (std::size_t e = 0; e < lhs[d]->events.size(); ++e) {
+            EXPECT_EQ(lhs[d]->events[e].timestamp, rhs[d]->events[e].timestamp);
+            EXPECT_EQ(lhs[d]->events[e].frame_bytes, rhs[d]->events[e].frame_bytes);
+            EXPECT_EQ(lhs[d]->events[e].device_to_server, rhs[d]->events[e].device_to_server);
+        }
+    }
+}
+
+/// A capture exercising the temporal DNS corners: traffic to a server
+/// before its mapping is born (must stay unresolved), a response that
+/// resolves its own source address (the serial path harvests DNS before
+/// attributing, so that very packet is attributed by name), a second
+/// address joining a domain late, and foreign traffic not involving the
+/// device at all.
+std::vector<net::Packet> temporal_capture() {
+    const Ipv4Address late(23, 5, 0, 1);
+    const Ipv4Address second(23, 5, 0, 2);
+    std::vector<net::Packet> capture;
+    capture.push_back(tcp_packet(kDevice, late, SimTime::millis(10), 500));  // pre-birth
+    capture.push_back(tcp_packet(late, kDevice, SimTime::millis(20), 700));  // pre-birth
+    capture.push_back(dns_response_packet("late.example.com", late, SimTime::millis(30)));
+    capture.push_back(tcp_packet(kDevice, late, SimTime::millis(40), 900));  // resolved now
+    // The resolver's own response packet resolves the resolver's address.
+    capture.push_back(dns_response_packet("resolver.example.com", kResolver,
+                                          SimTime::millis(50)));
+    capture.push_back(dns_response_packet("late.example.com", second, SimTime::millis(60)));
+    capture.push_back(tcp_packet(second, kDevice, SimTime::millis(70), 1100));
+    capture.push_back(tcp_packet(Ipv4Address(10, 9, 9, 9), Ipv4Address(10, 9, 9, 10),
+                                 SimTime::millis(80), 64));  // foreign: ignored
+    capture.push_back(net::Packet{SimTime::millis(90), Bytes{0x01, 0x02}});  // unparseable
+    for (int i = 0; i < 200; ++i) {
+        const bool up = i % 3 != 0;
+        const auto remote = i % 2 == 0 ? late : second;
+        capture.push_back(up ? tcp_packet(kDevice, remote, SimTime::millis(100 + i), 100 + i)
+                             : tcp_packet(remote, kDevice, SimTime::millis(100 + i), 100 + i));
+    }
+    return capture;
+}
+
+TEST(StreamingAnalyzerTest, MatchesSerialOnTemporalDnsCorners) {
+    const auto capture = temporal_capture();
+    CaptureAnalyzer serial(kDevice);
+    serial.ingest_all(capture);
+
+    // Pre-birth traffic stays unresolved even though the mapping exists by
+    // the end of the capture — in both engines.
+    ASSERT_NE(serial.find("unresolved:23.5.0.1"), nullptr);
+    EXPECT_EQ(serial.find("unresolved:23.5.0.1")->packets, 2U);
+    ASSERT_NE(serial.find("resolver.example.com"), nullptr);
+
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{7}}) {
+        SCOPED_TRACE(shards);
+        StreamOptions options;
+        options.shards = shards;
+        expect_same_analysis(serial, analyze_packets(capture, kDevice, options));
+    }
+}
+
+TEST(StreamingAnalyzerTest, ResultIndependentOfPoolAndShardCount) {
+    const auto capture = temporal_capture();
+    common::ThreadPool pool(3);
+    StreamOptions pooled;
+    pooled.pool = &pool;
+    pooled.shards = 5;
+    StreamOptions inline_one;
+    inline_one.shards = 1;
+    expect_same_analysis(analyze_packets(capture, kDevice, inline_one),
+                         analyze_packets(capture, kDevice, pooled));
+}
+
+TEST(StreamingAnalyzerTest, GoldenCapturesAreByteIdenticalToSerialPath) {
+    // The checked-in golden captures are real end-to-end simulator output;
+    // replaying them through the streaming reader + sharded engine must
+    // reproduce the serial analysis exactly, for any shard/worker count.
+    const std::string dir = TVACR_GOLDEN_DIR;
+    common::ThreadPool pool(4);
+    for (const char* name : {"/samsung_uk_linear_2min_seed7.pcap",
+                             "/samsung_uk_linear_2min_seed7_canonical_faults.pcap"}) {
+        SCOPED_TRACE(name);
+        const auto packets = net::read_pcap_file(dir + name);
+        ASSERT_TRUE(packets.ok());
+        CaptureAnalyzer serial(kDevice);
+        serial.ingest_all(packets.value());
+
+        for (const std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{7}}) {
+            SCOPED_TRACE(shards);
+            StreamOptions options;
+            options.shards = shards;
+            options.pool = shards > 1 ? &pool : nullptr;
+            auto streamed = analyze_pcap_stream(dir + name, kDevice, options);
+            ASSERT_TRUE(streamed.ok());
+            expect_same_analysis(serial, streamed.value());
+        }
+    }
 }
 
 }  // namespace

@@ -202,6 +202,51 @@ TEST(BatchTest, DeserializeRejectsCorruption) {
     EXPECT_FALSE(FingerprintBatch::deserialize(truncated).ok());
 }
 
+TEST(BatchTest, CompactLongOffsetBatchFallsBackToRawAndRoundTrips) {
+    // An outage backlog flush accumulates for >= 2^15 capture periods before
+    // uploading. The compact encodings store offsets in 15 bits of period
+    // units, so such a batch cannot use them; the encoder used to mask the
+    // offset (& 0x7FFF), silently aliasing every late record onto an early
+    // offset. It must fall back to kRaw and round-trip exactly.
+    FingerprintBatch batch = sample_batch(false, 4, 10);
+    for (std::size_t i = 0; i < batch.records.size(); ++i) {
+        batch.records[i].video = splitmix64(0xB0B0 + i);  // distinct: no RLE collapse
+    }
+    batch.records[0].offset_ms = 0;
+    batch.records[1].offset_ms = 10 * 0x7FFF;  // last offset the compact form can hold
+    batch.records[2].offset_ms = 10 * 0x8000;  // first that cannot
+    batch.records[3].offset_ms = 10 * 0x23456;
+    for (const auto encoding : {BatchEncoding::kCompactRaw, BatchEncoding::kCompactRle}) {
+        const auto restored = FingerprintBatch::deserialize(batch.serialize(encoding));
+        ASSERT_TRUE(restored.ok());
+        EXPECT_EQ(restored.value(), batch);
+    }
+}
+
+TEST(BatchTest, CompactOffsetAtLimitStaysCompact) {
+    // 0x7FFF periods is still encodable: the fallback must not trigger, so
+    // the compact wire stays smaller than raw (untagged, 16-bit offsets).
+    FingerprintBatch batch = sample_batch(false, 3, 10);
+    batch.records[2].offset_ms = 10 * 0x7FFF;
+    EXPECT_LT(batch.serialize(BatchEncoding::kCompactRaw).size(),
+              batch.serialize(BatchEncoding::kRaw).size());
+}
+
+TEST(BatchTest, DeserializeRejectsBackwardsCompactOffsets) {
+    // A wire image whose compact offsets go backwards is exactly what the
+    // pre-fix masking encoder produced for a backlog batch; records
+    // accumulate in capture order, so a decoder seeing offsets decrease is
+    // looking at corruption and must say so rather than return alias times.
+    FingerprintBatch bad = sample_batch(false, 2, 10);
+    bad.records[0].video = splitmix64(1);
+    bad.records[1].video = splitmix64(2);
+    bad.records[0].offset_ms = 50;
+    bad.records[1].offset_ms = 20;
+    const auto verdict = FingerprintBatch::deserialize(bad.serialize(BatchEncoding::kCompactRaw));
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_NE(verdict.error().message.find("offset went backwards"), std::string::npos);
+}
+
 TEST(BatchTest, EmptyBatchRoundTrips) {
     FingerprintBatch batch;
     batch.device_id = 1;

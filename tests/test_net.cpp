@@ -2,6 +2,7 @@
 // building/parsing, flows and the pcap file format.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "net/address.hpp"
@@ -299,6 +300,137 @@ TEST(PcapTest, OversizedPacketIsTruncatedToSnapLenOnWrite) {
                                    (static_cast<std::uint32_t>(file[record + 14]) << 16) |
                                    (static_cast<std::uint32_t>(file[record + 15]) << 24);
     EXPECT_EQ(orig_len, kPcapSnapLen + 1000);
+}
+
+namespace {
+
+/// Pokes a little-endian u32 into raw pcap bytes (header/record patching).
+void poke_u32le(Bytes& bytes, std::size_t at, std::uint32_t value) {
+    bytes[at] = static_cast<std::uint8_t>(value & 0xFF);
+    bytes[at + 1] = static_cast<std::uint8_t>((value >> 8) & 0xFF);
+    bytes[at + 2] = static_cast<std::uint8_t>((value >> 16) & 0xFF);
+    bytes[at + 3] = static_cast<std::uint8_t>((value >> 24) & 0xFF);
+}
+
+/// A hand-built single-record pcap with an arbitrary declared snaplen and
+/// record length — the shape a foreign (non-toolkit) capture tool produces.
+Bytes foreign_pcap(std::uint32_t declared_snaplen, std::uint32_t record_len) {
+    Bytes file = to_pcap_bytes({});
+    poke_u32le(file, 16, declared_snaplen);
+    const std::size_t record = file.size();
+    file.resize(record + kPcapRecordHeaderLen + record_len, 0xCD);
+    poke_u32le(file, record, 3);           // ts_sec
+    poke_u32le(file, record + 4, 0);       // ts_usec
+    poke_u32le(file, record + 8, record_len);
+    poke_u32le(file, record + 12, record_len);
+    return file;
+}
+
+std::string write_temp(const std::string& name, const Bytes& bytes) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+}  // namespace
+
+TEST(PcapTest, HonorsDeclaredSnapLenLargerThanDefault) {
+    // Regression: records were validated against the compile-time
+    // kPcapSnapLen instead of the snaplen the file header declares, so a
+    // valid foreign capture with a bigger limit was rejected as corrupt.
+    const Bytes file = foreign_pcap(/*declared_snaplen=*/0x80000, /*record_len=*/300000);
+    const auto restored = from_pcap_bytes(file);
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(restored.value().size(), 1U);
+    EXPECT_EQ(restored.value()[0].data.size(), 300000U);
+    EXPECT_EQ(restored.value()[0].timestamp, SimTime::seconds(3));
+}
+
+TEST(PcapTest, RejectsRecordExceedingDeclaredSnapLen) {
+    // The declared limit is still enforced: a record longer than the header
+    // promises is corruption, however small the numbers.
+    const Bytes file = foreign_pcap(/*declared_snaplen=*/100, /*record_len=*/200);
+    EXPECT_FALSE(from_pcap_bytes(file).ok());
+}
+
+TEST(PcapTest, UnlimitedSnapLenIsClampedNotRejected) {
+    // Writers declaring "unlimited" (0) must not disable validation or
+    // demand giant buffers: the effective limit clamps to kPcapMaxSnapLen.
+    const Bytes file = foreign_pcap(/*declared_snaplen=*/0, /*record_len=*/300000);
+    const auto restored = from_pcap_bytes(file);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value()[0].data.size(), 300000U);
+}
+
+TEST(PcapReaderTest, StreamsIdenticallyToFromPcapBytes) {
+    std::vector<Packet> packets;
+    for (int i = 0; i < 300; ++i) {
+        packets.push_back(make_tcp_frame(Bytes(static_cast<std::size_t>(37 * i % 900), 0x5A)));
+        packets.back().timestamp = SimTime::millis(i * 7);
+    }
+    const std::string path = write_temp("tvacr_pcap_stream.pcap", to_pcap_bytes(packets));
+    auto reader = PcapReader::open(path);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader.value().declared_snaplen(), kPcapSnapLen);
+    std::size_t i = 0;
+    while (true) {
+        auto record = reader.value().next();
+        ASSERT_TRUE(record.ok());
+        if (!record.value().has_value()) break;
+        ASSERT_LT(i, packets.size());
+        EXPECT_EQ(record.value()->timestamp, packets[i].timestamp);
+        EXPECT_EQ(Bytes(record.value()->frame.begin(), record.value()->frame.end()),
+                  packets[i].data);
+        EXPECT_EQ(record.value()->orig_len, packets[i].data.size());
+        ++i;
+    }
+    EXPECT_EQ(i, packets.size());
+    EXPECT_EQ(reader.value().packets_read(), packets.size());
+    // Exhausted readers keep returning end-of-capture, not errors.
+    auto again = reader.value().next();
+    ASSERT_TRUE(again.ok());
+    EXPECT_FALSE(again.value().has_value());
+}
+
+TEST(PcapReaderTest, ToleratesTruncatedFinalRecord) {
+    Bytes file = to_pcap_bytes(sample_packets());
+    file.resize(file.size() - 10);  // cut into the final packet body
+    const std::string path = write_temp("tvacr_pcap_stream_trunc.pcap", file);
+    auto reader = PcapReader::open(path);
+    ASSERT_TRUE(reader.ok());
+    auto first = reader.value().next();
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first.value().has_value());
+    auto second = reader.value().next();
+    ASSERT_TRUE(second.ok());
+    EXPECT_FALSE(second.value().has_value());  // truncation ends the capture cleanly
+}
+
+TEST(PcapReaderTest, HonorsDeclaredSnapLenAndRejectsExcess) {
+    const std::string big = write_temp("tvacr_pcap_stream_big.pcap",
+                                       foreign_pcap(0x80000, 300000));
+    auto reader = PcapReader::open(big);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader.value().declared_snaplen(), 0x80000U);
+    auto record = reader.value().next();
+    ASSERT_TRUE(record.ok());
+    ASSERT_TRUE(record.value().has_value());
+    EXPECT_EQ(record.value()->frame.size(), 300000U);
+
+    const std::string bad = write_temp("tvacr_pcap_stream_bad.pcap", foreign_pcap(100, 200));
+    auto bad_reader = PcapReader::open(bad);
+    ASSERT_TRUE(bad_reader.ok());
+    EXPECT_FALSE(bad_reader.value().next().ok());
+}
+
+TEST(PcapReaderTest, OpenRejectsMissingAndGarbageFiles) {
+    EXPECT_FALSE(PcapReader::open(::testing::TempDir() + "tvacr_nope.pcap").ok());
+    Bytes garbage = to_pcap_bytes(sample_packets());
+    garbage[0] ^= 0xFF;
+    const std::string path = write_temp("tvacr_pcap_garbage.pcap", garbage);
+    EXPECT_FALSE(PcapReader::open(path).ok());
 }
 
 TEST(PcapTest, RejectsGarbageMagic) {

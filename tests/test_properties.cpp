@@ -68,6 +68,43 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Bool(), ::testing::Values(0, 1, 7, 150, 1500),
                        ::testing::Values(1, 4, 50)));
 
+// Backlog-shaped batches: an acr_client outage hold-back flush accumulates
+// for far longer than one upload window, so offsets span more than 2^15
+// capture periods — beyond what the compact encodings can represent. Every
+// encoding must still round-trip exactly (the compact ones by falling back
+// to kRaw on the wire).
+class BacklogBatchRoundTrip : public ::testing::TestWithParam<fp::BatchEncoding> {};
+
+TEST_P(BacklogBatchRoundTrip, LongOffsetBatchesSurviveEveryEncoding) {
+    const auto encoding = GetParam();
+    Rng rng(0xACC0 + static_cast<std::uint64_t>(encoding));
+    fp::FingerprintBatch batch;
+    batch.device_id = 0xBAC7106;
+    batch.start_ms = 7'200'000;
+    batch.capture_period_ms = 500;  // Samsung cadence
+    batch.has_audio = true;
+    std::uint32_t offset_units = 0;
+    for (int i = 0; i < 400; ++i) {
+        // Sparse, period-aligned offsets: mean gap ~150 periods, so the
+        // batch spans ~60000 periods, well past the 15-bit compact limit.
+        offset_units += static_cast<std::uint32_t>(rng.uniform(1, 300));
+        fp::CaptureRecord record;
+        record.offset_ms = offset_units * 500U;
+        record.video = splitmix64(static_cast<std::uint64_t>(i) * 77 + 1);  // all distinct
+        record.detail = static_cast<std::uint16_t>(i);
+        record.audio = static_cast<std::uint32_t>(i) + 9;
+        batch.records.push_back(record);
+    }
+    const auto restored = fp::FingerprintBatch::deserialize(batch.serialize(encoding));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value(), batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, BacklogBatchRoundTrip,
+                         ::testing::Values(fp::BatchEncoding::kRaw, fp::BatchEncoding::kDeltaRle,
+                                           fp::BatchEncoding::kCompactRaw,
+                                           fp::BatchEncoding::kCompactRle));
+
 // --------------------------------------------------------- DNS name sweeps
 
 class DnsNameRoundTrip : public ::testing::TestWithParam<int> {};

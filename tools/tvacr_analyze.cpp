@@ -1,27 +1,55 @@
 // tvacr_analyze — ACR traffic analysis for a pcap file.
 //
-//   tvacr_analyze <capture.pcap|pcapng> <device-ip> [--minutes N]
+//   tvacr_analyze <capture.pcap|pcapng> <device-ip> [--minutes N] [--jobs N]
 //
 // Runs the paper's analysis pipeline on an arbitrary capture: per-domain
 // traffic accounting (via harvested DNS), burst cadence and period
 // inference, and the ACR-domain identification heuristic. Works on captures
 // produced by this toolkit or by a real Mon(IoT)r-style tap, as long as the
 // trace includes the device's DNS traffic.
+//
+// Plain pcap input is streamed: the capture is read incrementally through
+// net::PcapReader and analyzed by the flow-sharded engine, so peak memory
+// stays at the reader's buffer plus compact per-packet metadata no matter
+// how large the capture is. --jobs N attributes shards on N worker threads;
+// the output is byte-identical for every jobs value. pcapng input falls
+// back to the in-memory decoder (its block structure needs the whole file).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "analysis/acr_detect.hpp"
 #include "analysis/report.hpp"
+#include "analysis/stream.hpp"
 #include "analysis/timeseries.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "net/pcapng.hpp"
 
 using namespace tvacr;
 
+namespace {
+
+bool is_pcapng_file(const char* path) {
+    std::ifstream file(path, std::ios::binary);
+    unsigned char head[4] = {0, 0, 0, 0};
+    file.read(reinterpret_cast<char*>(head), sizeof(head));
+    if (!file) return false;
+    const std::uint32_t first = static_cast<std::uint32_t>(head[0]) |
+                                (static_cast<std::uint32_t>(head[1]) << 8) |
+                                (static_cast<std::uint32_t>(head[2]) << 16) |
+                                (static_cast<std::uint32_t>(head[3]) << 24);
+    return first == net::kPcapngSectionBlock;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     if (argc < 3) {
-        std::fprintf(stderr, "usage: %s <capture.pcap> <device-ip> [--minutes N]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s <capture.pcap> <device-ip> [--minutes N] [--jobs N]\n",
+                     argv[0]);
         return 2;
     }
     const auto device_ip = net::Ipv4Address::parse(argv[2]);
@@ -30,22 +58,45 @@ int main(int argc, char** argv) {
         return 2;
     }
     SimTime capture_length = SimTime::hours(1);
+    long jobs = 1;
     for (int i = 3; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--minutes") == 0) {
             capture_length = SimTime::minutes(std::atol(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            jobs = std::atol(argv[i + 1]);
+            if (jobs < 1) jobs = 1;
         }
     }
 
-    const auto packets = net::read_any_capture_file(argv[1]);
-    if (!packets.ok()) {
-        std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
-                     packets.error().message.c_str());
-        return 1;
+    std::unique_ptr<common::ThreadPool> pool;
+    analysis::StreamOptions options;
+    if (jobs > 1) {
+        pool = std::make_unique<common::ThreadPool>(static_cast<std::size_t>(jobs));
+        options.pool = pool.get();
     }
-    std::printf("Loaded %zu packets from %s\n\n", packets.value().size(), argv[1]);
+    options.shards = static_cast<std::size_t>(jobs) * 2;
 
-    analysis::CaptureAnalyzer analyzer(device_ip.value());
-    analyzer.ingest_all(packets.value());
+    Result<analysis::CaptureAnalyzer> analyzed = make_error("unreachable");
+    if (is_pcapng_file(argv[1])) {
+        // pcapng: materialize, then run the same sharded engine.
+        const auto packets = net::read_any_capture_file(argv[1]);
+        if (!packets.ok()) {
+            std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+                         packets.error().message.c_str());
+            return 1;
+        }
+        analyzed = analysis::analyze_packets(packets.value(), device_ip.value(), options);
+    } else {
+        analyzed = analysis::analyze_pcap_stream(argv[1], device_ip.value(), options);
+        if (!analyzed.ok()) {
+            std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+                         analyzed.error().message.c_str());
+            return 1;
+        }
+    }
+    const analysis::CaptureAnalyzer& analyzer = analyzed.value();
+    std::printf("Analyzed %llu packets from %s\n\n",
+                static_cast<unsigned long long>(analyzer.packets_total()), argv[1]);
     if (analyzer.packets_total() == analyzer.unparseable()) {
         std::fprintf(stderr, "no parseable IPv4 traffic for device %s\n", argv[2]);
         return 1;
