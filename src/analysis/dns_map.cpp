@@ -16,6 +16,11 @@ void DnsMap::ingest(const net::PacketView& packet, std::uint64_t packet_index) {
                     packet.timestamp, packet_index);
 }
 
+void DnsMap::ingest_payload(BytesView payload, SimTime timestamp, std::uint64_t packet_index) {
+    if (packet_index >= ingest_counter_) ingest_counter_ = packet_index + 1;
+    ingest_response(true, payload, timestamp, packet_index);
+}
+
 void DnsMap::ingest_response(bool from_dns_port, BytesView payload, SimTime timestamp,
                              std::uint64_t packet_index) {
     if (!from_dns_port) return;

@@ -28,6 +28,12 @@ class DnsMap {
     /// mapping-known-yet decision for packets processed out of order.
     void ingest(const net::PacketView& packet, std::uint64_t packet_index);
 
+    /// Pre-extracted DNS payload (UDP datagram from the DNS source port),
+    /// for replay from a .tvcr event stream where the frame no longer
+    /// exists. Identical semantics to the PacketView overload for a
+    /// DNS-port packet carrying `payload`.
+    void ingest_payload(BytesView payload, SimTime timestamp, std::uint64_t packet_index);
+
     /// An address mapping plus the capture position that created it.
     struct Mapping {
         std::string domain;

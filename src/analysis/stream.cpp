@@ -50,6 +50,31 @@ void StreamingCaptureAnalyzer::ingest(BytesView frame, SimTime timestamp) {
     shards_[shard].push_back(meta);
 }
 
+void StreamingCaptureAnalyzer::ingest(const DecodedRecord& record) {
+    const std::uint64_t index = packets_total_++;
+    if (!record.parseable) {
+        ++unparseable_;
+        return;
+    }
+    if (!record.dns_payload.empty()) {
+        dns_.ingest_payload(record.dns_payload, record.timestamp, index);
+    }
+
+    const bool up = record.source == device_ip_;
+    const bool down = record.destination == device_ip_;
+    if (!up && !down) return;  // not the device's traffic (should not happen)
+
+    PacketMeta meta;
+    meta.index = index;
+    meta.timestamp = record.timestamp;
+    meta.frame_bytes = record.frame_bytes;
+    meta.remote = up ? record.destination : record.source;
+    meta.device_to_server = up;
+    const std::size_t shard = static_cast<std::size_t>(
+        splitmix64(meta.remote.value()) % shards_.size());
+    shards_[shard].push_back(meta);
+}
+
 StreamingCaptureAnalyzer::ShardPartial StreamingCaptureAnalyzer::attribute_shard(
     const std::vector<PacketMeta>& metas) const {
     ShardPartial partial;

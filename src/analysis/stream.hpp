@@ -43,6 +43,19 @@ struct StreamOptions {
     common::ThreadPool* pool = nullptr;
 };
 
+/// A frame already reduced to what ingest() extracts from it: the per-record
+/// content of a .tvcr event stream. Replaying DecodedRecords through the
+/// analyzer is byte-identical to ingesting the frames they were decoded from
+/// — parse decisions were made at record time and stored, not re-derived.
+struct DecodedRecord {
+    SimTime timestamp;
+    std::uint32_t frame_bytes = 0;
+    bool parseable = false;  // decoded as Ethernet/IPv4 at record time
+    net::Ipv4Address source;
+    net::Ipv4Address destination;
+    BytesView dns_payload;  // UDP payload iff sourced from the DNS port
+};
+
 class StreamingCaptureAnalyzer {
   public:
     explicit StreamingCaptureAnalyzer(net::Ipv4Address device_ip, StreamOptions options = {});
@@ -51,6 +64,11 @@ class StreamingCaptureAnalyzer {
     /// bytes are only borrowed for the duration of the call.
     void ingest(BytesView frame, SimTime timestamp);
     void ingest(const net::Packet& packet) { ingest(packet.data, packet.timestamp); }
+
+    /// Ingests one pre-decoded record (replay path). Mirrors the frame
+    /// overload exactly: same unparseable accounting, DNS harvesting, and
+    /// shard bucketing, minus the parse.
+    void ingest(const DecodedRecord& record);
 
     /// Runs the sharded attribution + deterministic merge and returns the
     /// assembled analyzer. Call once; the builder is drained by the call.

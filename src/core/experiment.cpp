@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include "analysis/stream.hpp"
+#include "replay/tvcr.hpp"
 
 namespace tvacr::core {
 
@@ -18,6 +19,12 @@ analysis::CaptureAnalyzer ExperimentResult::analyze() const {
     analysis::StreamOptions options;
     options.shards = 4;
     return analysis::analyze_packets(capture, device_ip, options);
+}
+
+Status ExperimentResult::record_tvcr(const std::string& path, bool keep_frames) const {
+    replay::TvcrOptions options;
+    options.keep_frames = keep_frames;
+    return replay::write_tvcr_file(path, capture, options);
 }
 
 TestbedConfig ExperimentRunner::testbed_config(const ExperimentSpec& spec) {

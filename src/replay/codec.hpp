@@ -1,0 +1,42 @@
+// Byte-level codecs for the .tvcr record/replay format: LEB128 varints,
+// zigzag signed mapping, CRC-32 integrity checksums, and a from-scratch
+// LZ77 block compressor. Everything here is pure and deterministic — the
+// same input bytes produce the same output bytes on every platform, which
+// is what lets .tvcr files participate in byte-for-byte golden tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace tvacr::replay {
+
+/// Appends an unsigned LEB128 varint (7 bits per byte, little groups first).
+void put_varint(ByteWriter& out, std::uint64_t value);
+
+/// Reads one varint; fails cleanly on truncation or >10-byte overlong forms.
+[[nodiscard]] Result<std::uint64_t> get_varint(ByteReader& in);
+
+/// Zigzag mapping so small negative deltas stay small varints.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+    return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) over a byte span.
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+/// Greedy LZ77 compressor (LZ4-style token stream: literal runs + back
+/// references with 16-bit offsets, minimum match 4). Self-contained — no
+/// external compression library — and deterministic byte-for-byte.
+[[nodiscard]] Bytes lz_compress(BytesView input);
+
+/// Decompresses a lz_compress stream. Every read is bounds-checked and the
+/// output is capped at `uncompressed_len`: corrupt or adversarial input
+/// yields an Error, never out-of-bounds access (the corruption-robustness
+/// suite runs this under ASan/UBSan).
+[[nodiscard]] Result<Bytes> lz_decompress(BytesView input, std::size_t uncompressed_len);
+
+}  // namespace tvacr::replay

@@ -1,0 +1,197 @@
+// The .tvcr indexed record/replay capture format.
+//
+// Pcap is write-once, scan-everything: re-running an analysis means
+// re-reading and re-parsing every frame. A .tvcr file instead stores the
+// *decoded event stream* the analyzer actually consumes — per-record
+// timestamp, frame length, endpoint addresses and (for DNS responses) the
+// raw DNS payload — in per-block-compressed columns, with a footer index
+// keyed by (time range, flow shard, domain id) so analysis can start at any
+// block boundary instead of byte zero. An optional frames mode additionally
+// keeps the raw frame bytes, making the file losslessly round-trippable to
+// pcap at the cost of compression ratio.
+//
+// File layout (all fixed-width fields big-endian via ByteWriter):
+//   header   "TVCR" magic, version, flags (bit0 = frames kept), snaplen
+//   block*   block header (magic, counts, time range, shard/domain masks,
+//            codec, payload CRC) + per-block-compressed columnar payload
+//   index    domain string table + one entry per block (mirrors the block
+//            headers plus the absolute file offset), CRC-protected
+//   trailer  fixed 24 bytes at EOF pointing back at the index
+// The trailer-last layout means writing is a pure forward stream (no
+// seeking), and reading starts by loading only trailer + index — random
+// block access never touches unrelated bytes.
+//
+// Determinism contract: encoding is byte-stable (same records + options in,
+// same file bytes out, any platform), and replaying the event stream through
+// analysis::StreamingCaptureAnalyzer reproduces the batch engine's report
+// byte-for-byte — from block 0 for the whole capture, from block k for the
+// corresponding suffix. tests/test_replay.cpp enforces both.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+
+namespace tvacr::replay {
+
+inline constexpr std::uint32_t kTvcrMagic = 0x54564352;         // "TVCR"
+inline constexpr std::uint32_t kTvcrBlockMagic = 0x5456424B;    // "TVBK"
+inline constexpr std::uint32_t kTvcrIndexMagic = 0x54564958;    // "TVIX"
+inline constexpr std::uint32_t kTvcrTrailerMagic = 0x54564345;  // "TVCE"
+inline constexpr std::uint16_t kTvcrVersion = 1;
+inline constexpr std::uint16_t kTvcrFlagFrames = 0x0001;
+inline constexpr std::size_t kTvcrHeaderLen = 20;
+inline constexpr std::size_t kTvcrTrailerLen = 24;
+/// Hard cap on a single block's uncompressed payload; a corrupt length
+/// field cannot demand a giant allocation.
+inline constexpr std::uint32_t kTvcrMaxBlockPayload = 256 * 1024 * 1024;
+/// Slots in the per-block flow-shard membership mask and domain bloom.
+inline constexpr std::size_t kTvcrMaskSlots = 64;
+
+struct TvcrOptions {
+    /// Records per block; the resume granularity. Smaller blocks give finer
+    /// random access, larger blocks compress better.
+    std::size_t block_records = 2048;
+    /// Keep raw frame bytes (lossless pcap round-trip). Off by default: the
+    /// event stream alone reproduces the analyzer byte-for-byte and is
+    /// 10-100x smaller, because fingerprint payloads are incompressible.
+    bool keep_frames = false;
+    /// Snaplen recorded in the header, used when exporting back to pcap.
+    std::uint32_t snaplen = net::kPcapSnapLen;
+};
+
+/// One decoded record, as stored in (and read back from) a .tvcr block.
+struct TvcrRecord {
+    SimTime timestamp;
+    std::uint32_t frame_bytes = 0;  // captured (post-snaplen) frame length
+    std::uint32_t orig_len = 0;     // original frame length before capping
+    bool parseable = false;         // decoded as Ethernet/IPv4 at write time
+    net::Ipv4Address source;
+    net::Ipv4Address destination;
+    Bytes dns_payload;  // UDP payload iff sourced from the DNS port
+    Bytes frame;        // raw frame bytes (frames mode only)
+};
+
+/// Per-block index entry: everything a reader needs to decide whether a
+/// block is relevant (time range, flow shards, domains) and to fetch and
+/// verify it (offset, lengths, codec, CRC) without touching other bytes.
+struct TvcrBlockInfo {
+    std::uint64_t offset = 0;  // absolute file offset of the block header
+    std::uint32_t records = 0;
+    std::uint64_t first_index = 0;  // global record index of the first record
+    SimTime first_ts;
+    SimTime last_ts;
+    /// Bit splitmix64(addr) % 64 is set for every endpoint address seen in
+    /// the block — a block-level bloom over flow shards, superset semantics.
+    std::uint64_t shard_mask = 0;
+    /// Bit splitmix64(domain_id) % 64 per domain with attributed traffic in
+    /// the block (ids index the footer's domain table). Superset semantics.
+    std::uint64_t domain_bloom = 0;
+    std::uint32_t uncompressed_len = 0;
+    std::uint32_t compressed_len = 0;
+    std::uint8_t codec = 0;  // 0 = stored, 1 = lz
+    std::uint32_t payload_crc = 0;
+};
+
+/// Streams records into a .tvcr byte stream (forward-only; the index and
+/// trailer are emitted by finish()). The ostream must outlive the writer.
+class TvcrWriter {
+  public:
+    explicit TvcrWriter(std::ostream& out, TvcrOptions options = {});
+    ~TvcrWriter();
+    TvcrWriter(TvcrWriter&&) = delete;
+
+    /// Appends one captured frame. The frame is decoded here (endpoints,
+    /// DNS harvest for the domain index) so readers never re-parse.
+    /// `orig_len` 0 means "frame.size()".
+    void add(BytesView frame, SimTime timestamp, std::uint32_t orig_len = 0);
+    void add(const net::Packet& packet) { add(packet.data, packet.timestamp); }
+
+    /// Flushes the open block and writes index + trailer. Must be called
+    /// exactly once; add() is invalid afterwards.
+    Status finish();
+
+    [[nodiscard]] std::uint64_t records_written() const noexcept { return records_total_; }
+    [[nodiscard]] std::uint64_t blocks_written() const noexcept { return blocks_.size(); }
+
+  private:
+    struct Impl;
+    void flush_block();
+
+    std::ostream& out_;
+    TvcrOptions options_;
+    std::unique_ptr<Impl> impl_;
+    std::vector<TvcrBlockInfo> blocks_;
+    std::uint64_t records_total_ = 0;
+    std::uint64_t bytes_emitted_ = 0;
+    bool finished_ = false;
+};
+
+/// Random-access .tvcr reader: loads header + trailer + index up front,
+/// decodes blocks on demand. Every structural field is validated and every
+/// payload CRC-checked — truncated files, bit flips, and an index pointing
+/// past EOF all fail with a clean Error (the corruption suite enforces it).
+class TvcrReader {
+  public:
+    /// File-backed reader (seeks per block; memory stays O(one block)).
+    [[nodiscard]] static Result<TvcrReader> open(const std::string& path);
+    /// In-memory reader over caller-owned bytes (golden tests, transcodes).
+    [[nodiscard]] static Result<TvcrReader> from_bytes(BytesView data);
+
+    [[nodiscard]] const std::vector<TvcrBlockInfo>& blocks() const noexcept { return blocks_; }
+    /// Domain table harvested at record time; ids are positions.
+    [[nodiscard]] const std::vector<std::string>& domains() const noexcept { return domains_; }
+    [[nodiscard]] std::uint64_t total_records() const noexcept { return total_records_; }
+    [[nodiscard]] bool has_frames() const noexcept { return (flags_ & kTvcrFlagFrames) != 0; }
+    [[nodiscard]] std::uint32_t snaplen() const noexcept { return snaplen_; }
+
+    /// Decodes one block into records (CRC + structure validated).
+    [[nodiscard]] Result<std::vector<TvcrRecord>> read_block(std::size_t block);
+
+    /// Index queries, all superset-semantics (a returned block may contain
+    /// other traffic too; a block never silently goes missing).
+    [[nodiscard]] std::vector<std::size_t> blocks_in_range(SimTime from, SimTime to) const;
+    [[nodiscard]] std::vector<std::size_t> blocks_for_address(net::Ipv4Address address) const;
+    [[nodiscard]] std::vector<std::size_t> blocks_for_domain(const std::string& domain) const;
+    /// First block whose time range reaches `since` (blocks_.size() if none).
+    [[nodiscard]] std::size_t first_block_at_or_after(SimTime since) const;
+
+    ~TvcrReader();
+    TvcrReader(TvcrReader&&) noexcept;
+    TvcrReader& operator=(TvcrReader&&) noexcept;
+
+  private:
+    TvcrReader() = default;
+    [[nodiscard]] Result<Bytes> read_at(std::uint64_t offset, std::size_t length);
+    [[nodiscard]] Status load(std::uint64_t file_size);
+
+    std::unique_ptr<std::ifstream> file_;
+    BytesView memory_;
+    std::uint64_t file_size_ = 0;
+    std::uint16_t flags_ = 0;
+    std::uint32_t snaplen_ = net::kPcapSnapLen;
+    std::uint64_t total_records_ = 0;
+    std::vector<TvcrBlockInfo> blocks_;
+    std::vector<std::string> domains_;
+};
+
+/// In-memory serialization of a packet list (golden fixtures, tests).
+[[nodiscard]] Bytes to_tvcr_bytes(const std::vector<net::Packet>& packets,
+                                  TvcrOptions options = {});
+
+/// Decodes a frames-mode .tvcr buffer back into packets; events-mode input
+/// is an error (the frames were deliberately not recorded).
+[[nodiscard]] Result<std::vector<net::Packet>> from_tvcr_bytes(BytesView data);
+
+/// File helpers.
+Status write_tvcr_file(const std::string& path, const std::vector<net::Packet>& packets,
+                       TvcrOptions options = {});
+
+}  // namespace tvacr::replay

@@ -1,9 +1,10 @@
 // Adversarial resilience tests for the tvacr::fault subsystem: the FaultSpec
 // parser, the deterministic ImpairmentModel, TCP/DNS survival under seeded
 // loss/reorder/duplication sweeps, ACR hold-back across link outages, and the
-// impaired golden pcap. The unifying property: an impaired link changes *when
-// and how often* bytes cross the wire, never *which* application bytes arrive
-// — and every impaired run replays byte-identically from (spec, seed).
+// impaired golden .tvcr capture. The unifying property: an impaired link
+// changes *when and how often* bytes cross the wire, never *which*
+// application bytes arrive — and every impaired run replays byte-identically
+// from (spec, seed).
 //
 // Regenerate the impaired golden capture with:
 //
@@ -18,6 +19,7 @@
 #include "fault/impairment.hpp"
 #include "fault/spec.hpp"
 #include "net/pcap.hpp"
+#include "replay/replay.hpp"
 #include "sim/access_point.hpp"
 #include "sim/cloud.hpp"
 #include "sim/dns_client.hpp"
@@ -504,17 +506,20 @@ std::string read_file(const std::string& path) {
     return content.str();
 }
 
-TEST(FaultGolden, CanonicalImpairedPcapMatchesCheckedInCapture) {
+TEST(FaultGolden, CanonicalImpairedTvcrMatchesCheckedInCapture) {
     // The impaired sibling of GoldenTrace.PcapBytesMatchCheckedInCapture:
     // same flagship cell, canonical FaultSpec. Any change to the impairment
-    // draw order, the RNG substream keying, or the repair paths shows up here
-    // as a byte diff.
+    // draw order, the RNG substream keying, the repair paths — or the .tvcr
+    // encoder itself — shows up here as a byte diff. The fixture is stored
+    // as an events-mode .tvcr (an order of magnitude smaller than the pcap
+    // it replaced; the raw fingerprint payloads it drops are pseudorandom
+    // and incompressible, so the pcap could never shrink).
     const auto result =
         core::ExperimentRunner::run(impaired_spec(canonical_fault_spec(), tv::Brand::kSamsung));
-    const Bytes pcap = net::to_pcap_bytes(result.capture);
-    const std::string measured(pcap.begin(), pcap.end());
+    const Bytes tvcr = replay::to_tvcr_bytes(result.capture);
+    const std::string measured(tvcr.begin(), tvcr.end());
     const std::string path =
-        std::string(TVACR_GOLDEN_DIR) + "/samsung_uk_linear_2min_seed7_canonical_faults.pcap";
+        std::string(TVACR_GOLDEN_DIR) + "/samsung_uk_linear_2min_seed7_canonical_faults.tvcr";
     if (std::getenv("TVACR_UPDATE_GOLDEN") != nullptr) {
         std::ofstream file(path, std::ios::binary);
         file << measured;
@@ -524,7 +529,35 @@ TEST(FaultGolden, CanonicalImpairedPcapMatchesCheckedInCapture) {
     ASSERT_FALSE(golden.empty()) << "missing golden file " << path
                                  << " — regenerate with TVACR_UPDATE_GOLDEN=1";
     ASSERT_EQ(measured.size(), golden.size());
-    EXPECT_TRUE(measured == golden) << "impaired pcap bytes drifted from " << path;
+    EXPECT_TRUE(measured == golden) << "impaired tvcr bytes drifted from " << path;
+
+    // The fixture conversion must not have cost fidelity: replaying the
+    // golden event stream reproduces the batch analysis byte-for-byte, and
+    // the artifact is >= 10x smaller than the pcap it replaced.
+    auto reader = replay::TvcrReader::from_bytes(tvcr);
+    ASSERT_TRUE(reader.ok()) << reader.error().message;
+    replay::ReplayEngine engine(std::move(reader).value());
+    auto replayed = engine.run(result.device_ip);
+    ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+    EXPECT_EQ(replay::canonical_report(replayed.value()),
+              replay::canonical_report(result.analyze()));
+    const Bytes pcap = net::to_pcap_bytes(result.capture);
+    EXPECT_GE(pcap.size(), tvcr.size() * 10U)
+        << "events-mode tvcr lost its >=10x size advantage over pcap";
+}
+
+TEST(FaultGolden, ImpairedCaptureRoundTripsThroughFramesModeTvcr) {
+    // Frames mode keeps the raw frame bytes: pcap -> tvcr -> pcap must be
+    // lossless down to the byte, even for an impaired capture whose wire
+    // traffic includes retransmissions and duplicates.
+    const auto result =
+        core::ExperimentRunner::run(impaired_spec(canonical_fault_spec(), tv::Brand::kSamsung));
+    replay::TvcrOptions options;
+    options.keep_frames = true;
+    const Bytes tvcr = replay::to_tvcr_bytes(result.capture, options);
+    const auto packets = replay::from_tvcr_bytes(tvcr);
+    ASSERT_TRUE(packets.ok()) << packets.error().message;
+    EXPECT_EQ(net::to_pcap_bytes(packets.value()), net::to_pcap_bytes(result.capture));
 }
 
 // ------------------------------------------------------------------- soak

@@ -1,6 +1,8 @@
-// tvacr_analyze — ACR traffic analysis for a pcap file.
+// tvacr_analyze — ACR traffic analysis for a capture file.
 //
-//   tvacr_analyze <capture.pcap|pcapng> <device-ip> [--minutes N] [--jobs N]
+//   tvacr_analyze <capture.{pcap,pcapng,tvcr}> <device-ip>
+//                 [--minutes N] [--jobs N] [--format pcap|pcapng|tvcr]
+//                 [--resume-from BLOCK] [--since SECONDS] [--report out.txt]
 //
 // Runs the paper's analysis pipeline on an arbitrary capture: per-domain
 // traffic accounting (via harvested DNS), burst cadence and period
@@ -14,11 +16,21 @@
 // how large the capture is. --jobs N attributes shards on N worker threads;
 // the output is byte-identical for every jobs value. pcapng input falls
 // back to the in-memory decoder (its block structure needs the whole file).
+//
+// .tvcr input (sniffed by magic, or forced with --format tvcr) replays the
+// indexed event stream instead of re-parsing frames, and unlocks resumable
+// analysis: --resume-from k restarts at block boundary k, --since S skips
+// ahead via the footer's time index. Either way the produced report is
+// byte-identical to a batch run over the corresponding packet range.
+// --report writes the canonical (filename-free) report used by the CI
+// replay-determinism gate.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "analysis/acr_detect.hpp"
 #include "analysis/report.hpp"
@@ -27,28 +39,40 @@
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "net/pcapng.hpp"
+#include "replay/replay.hpp"
 
 using namespace tvacr;
 
 namespace {
 
-bool is_pcapng_file(const char* path) {
+enum class CaptureFormat { kAuto, kPcap, kPcapng, kTvcr };
+
+CaptureFormat sniff_format(const char* path) {
     std::ifstream file(path, std::ios::binary);
     unsigned char head[4] = {0, 0, 0, 0};
     file.read(reinterpret_cast<char*>(head), sizeof(head));
-    if (!file) return false;
-    const std::uint32_t first = static_cast<std::uint32_t>(head[0]) |
-                                (static_cast<std::uint32_t>(head[1]) << 8) |
-                                (static_cast<std::uint32_t>(head[2]) << 16) |
-                                (static_cast<std::uint32_t>(head[3]) << 24);
-    return first == net::kPcapngSectionBlock;
+    if (!file) return CaptureFormat::kPcap;
+    const std::uint32_t le = static_cast<std::uint32_t>(head[0]) |
+                             (static_cast<std::uint32_t>(head[1]) << 8) |
+                             (static_cast<std::uint32_t>(head[2]) << 16) |
+                             (static_cast<std::uint32_t>(head[3]) << 24);
+    if (le == net::kPcapngSectionBlock) return CaptureFormat::kPcapng;
+    const std::uint32_t be = (static_cast<std::uint32_t>(head[0]) << 24) |
+                             (static_cast<std::uint32_t>(head[1]) << 16) |
+                             (static_cast<std::uint32_t>(head[2]) << 8) |
+                             static_cast<std::uint32_t>(head[3]);
+    if (be == replay::kTvcrMagic) return CaptureFormat::kTvcr;
+    return CaptureFormat::kPcap;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 3) {
-        std::fprintf(stderr, "usage: %s <capture.pcap> <device-ip> [--minutes N] [--jobs N]\n",
+        std::fprintf(stderr,
+                     "usage: %s <capture.{pcap,pcapng,tvcr}> <device-ip> [--minutes N] [--jobs N]\n"
+                     "          [--format pcap|pcapng|tvcr] [--resume-from BLOCK]\n"
+                     "          [--since SECONDS] [--report out.txt]\n",
                      argv[0]);
         return 2;
     }
@@ -59,13 +83,39 @@ int main(int argc, char** argv) {
     }
     SimTime capture_length = SimTime::hours(1);
     long jobs = 1;
+    CaptureFormat format = CaptureFormat::kAuto;
+    std::size_t resume_from = 0;
+    bool has_resume = false;
+    std::optional<SimTime> since;
+    std::string report_path;
     for (int i = 3; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--minutes") == 0) {
             capture_length = SimTime::minutes(std::atol(argv[i + 1]));
         } else if (std::strcmp(argv[i], "--jobs") == 0) {
             jobs = std::atol(argv[i + 1]);
             if (jobs < 1) jobs = 1;
+        } else if (std::strcmp(argv[i], "--format") == 0) {
+            const std::string value = argv[i + 1];
+            if (value == "pcap") format = CaptureFormat::kPcap;
+            else if (value == "pcapng") format = CaptureFormat::kPcapng;
+            else if (value == "tvcr") format = CaptureFormat::kTvcr;
+            else {
+                std::fprintf(stderr, "bad --format: %s\n", argv[i + 1]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--resume-from") == 0) {
+            resume_from = static_cast<std::size_t>(std::atol(argv[i + 1]));
+            has_resume = true;
+        } else if (std::strcmp(argv[i], "--since") == 0) {
+            since = SimTime::seconds(std::atol(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--report") == 0) {
+            report_path = argv[i + 1];
         }
+    }
+    if (format == CaptureFormat::kAuto) format = sniff_format(argv[1]);
+    if ((has_resume || since.has_value()) && format != CaptureFormat::kTvcr) {
+        std::fprintf(stderr, "--resume-from/--since need an indexed .tvcr capture\n");
+        return 2;
     }
 
     std::unique_ptr<common::ThreadPool> pool;
@@ -77,7 +127,28 @@ int main(int argc, char** argv) {
     options.shards = static_cast<std::size_t>(jobs) * 2;
 
     Result<analysis::CaptureAnalyzer> analyzed = make_error("unreachable");
-    if (is_pcapng_file(argv[1])) {
+    if (format == CaptureFormat::kTvcr) {
+        auto engine = replay::ReplayEngine::open(argv[1]);
+        if (!engine.ok()) {
+            std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+                         engine.error().message.c_str());
+            return 1;
+        }
+        replay::ReplayOptions replay_options;
+        replay_options.from_block = resume_from;
+        replay_options.since = since;
+        replay_options.stream = options;
+        analyzed = engine.value().run(device_ip.value(), replay_options);
+        if (!analyzed.ok()) {
+            std::fprintf(stderr, "cannot replay %s: %s\n", argv[1],
+                         analyzed.error().message.c_str());
+            return 1;
+        }
+        const auto& stats = engine.value().last_stats();
+        std::printf("Replayed %llu records (%zu blocks read, %zu skipped) from %s\n",
+                    static_cast<unsigned long long>(stats.records_replayed), stats.blocks_read,
+                    stats.blocks_skipped, argv[1]);
+    } else if (format == CaptureFormat::kPcapng) {
         // pcapng: materialize, then run the same sharded engine.
         const auto packets = net::read_any_capture_file(argv[1]);
         if (!packets.ok()) {
@@ -95,6 +166,14 @@ int main(int argc, char** argv) {
         }
     }
     const analysis::CaptureAnalyzer& analyzer = analyzed.value();
+    if (!report_path.empty()) {
+        std::ofstream report(report_path, std::ios::binary | std::ios::trunc);
+        report << replay::canonical_report(analyzer);
+        if (!report) {
+            std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+            return 1;
+        }
+    }
     std::printf("Analyzed %llu packets from %s\n\n",
                 static_cast<unsigned long long>(analyzer.packets_total()), argv[1]);
     if (analyzer.packets_total() == analyzer.unparseable()) {

@@ -1,18 +1,23 @@
-// tvacr_capture — run one testbed experiment and write the capture as pcap.
+// tvacr_capture — run one testbed experiment and write the capture.
 //
 //   tvacr_capture [--brand samsung|lg] [--country uk|us]
 //                 [--scenario idle|linear|fast|ott|hdmi|cast]
 //                 [--phase lin-oin|lout-oin|lin-oout|lout-oout]
 //                 [--minutes N] [--seed N] [--out capture.pcap]
-//                 [--format pcap|pcapng] [--metrics m.json] [--trace t.json]
+//                 [--format pcap|pcapng|tvcr|tvcr-frames]
+//                 [--metrics m.json] [--trace t.json]
 //                 [--faults canonical|none|<spec>]
 //
-// The produced file opens in Wireshark and feeds straight into
-// tvacr_analyze. --metrics writes the run's deterministic metrics; --trace
-// records sim-time spans as a Chrome trace_event file (".csv" suffix
-// switches either output to CSV). --faults runs the experiment over an
-// impaired link ("canonical" is the reference scenario; an inline spec looks
-// like "loss=0.05,outage=60s+15s" — see fault/spec.hpp).
+// pcap/pcapng output opens in Wireshark and feeds straight into
+// tvacr_analyze. --format tvcr records the indexed .tvcr replay format
+// instead (events mode: smallest, replays through tvacr_analyze
+// byte-identically, supports --resume-from/--since); tvcr-frames keeps the
+// raw frames too, so the file also exports losslessly back to pcap.
+// --metrics writes the run's deterministic metrics; --trace records
+// sim-time spans as a Chrome trace_event file (".csv" suffix switches
+// either output to CSV). --faults runs the experiment over an impaired
+// link ("canonical" is the reference scenario; an inline spec looks like
+// "loss=0.05,outage=60s+15s" — see fault/spec.hpp).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -33,7 +38,8 @@ int usage(const char* argv0) {
                  "          [--scenario idle|linear|fast|ott|hdmi|cast]\n"
                  "          [--phase lin-oin|lout-oin|lin-oout|lout-oout]\n"
                  "          [--minutes N] [--seed N] [--out capture.pcap]\n"
-                 "          [--format pcap|pcapng] [--metrics m.json] [--trace t.json]\n"
+                 "          [--format pcap|pcapng|tvcr|tvcr-frames]\n"
+                 "          [--metrics m.json] [--trace t.json]\n"
                  "          [--faults canonical|none|<spec>]\n",
                  argv0);
     return 2;
@@ -47,7 +53,8 @@ int main(int argc, char** argv) {
     std::string out = "capture.pcap";
     std::string metrics_path;
     std::string trace_path;
-    bool pcapng = false;
+    enum class OutFormat { kPcap, kPcapng, kTvcr, kTvcrFrames };
+    OutFormat out_format = OutFormat::kPcap;
 
     for (int i = 1; i + 1 < argc; i += 2) {
         const std::string key = argv[i];
@@ -89,8 +96,11 @@ int main(int argc, char** argv) {
         } else if (key == "--out") {
             out = value;
         } else if (key == "--format") {
-            if (value == "pcapng") pcapng = true;
-            else if (value != "pcap") return usage(argv[0]);
+            if (value == "pcapng") out_format = OutFormat::kPcapng;
+            else if (value == "tvcr") out_format = OutFormat::kTvcr;
+            else if (value == "tvcr-frames") out_format = OutFormat::kTvcrFrames;
+            else if (value == "pcap") out_format = OutFormat::kPcap;
+            else return usage(argv[0]);
         } else if (key == "--metrics") {
             metrics_path = value;
         } else if (key == "--trace") {
@@ -113,8 +123,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(spec.seed));
     const auto result = core::ExperimentRunner::run(spec);
     const auto status_of = [&]() {
-        return pcapng ? net::write_pcapng_file(out, result.capture)
-                      : net::write_pcap_file(out, result.capture);
+        switch (out_format) {
+            case OutFormat::kPcapng: return net::write_pcapng_file(out, result.capture);
+            case OutFormat::kTvcr: return result.record_tvcr(out, /*keep_frames=*/false);
+            case OutFormat::kTvcrFrames: return result.record_tvcr(out, /*keep_frames=*/true);
+            case OutFormat::kPcap: break;
+        }
+        return net::write_pcap_file(out, result.capture);
     };
     if (const auto status = status_of(); !status.ok()) {
         std::fprintf(stderr, "write failed: %s\n", status.error().message.c_str());
