@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <future>
-#include <unordered_map>
 
+#include "common/arena.hpp"
 #include "common/rng.hpp"
+#include "net/fast_parse.hpp"
 #include "net/pcap.hpp"
 
 namespace tvacr::analysis {
@@ -23,31 +24,36 @@ StreamingCaptureAnalyzer::StreamingCaptureAnalyzer(net::Ipv4Address device_ip,
                                                    StreamOptions options)
     : device_ip_(device_ip), pool_(options.pool), shards_(resolve_shards(options)) {}
 
+void StreamingCaptureAnalyzer::bucket_packet(std::uint64_t index, SimTime timestamp,
+                                             std::uint32_t frame_bytes, net::Ipv4Address source,
+                                             net::Ipv4Address destination) {
+    const bool up = source == device_ip_;
+    const bool down = destination == device_ip_;
+    if (!up && !down) return;  // not the device's traffic (should not happen)
+    const net::Ipv4Address remote = up ? destination : source;
+    // splitmix64 partitioning: deterministic across platforms and runs, and
+    // well-mixed even for adjacent addresses in one subnet.
+    const std::size_t shard =
+        static_cast<std::size_t>(splitmix64(remote.value()) % shards_.size());
+    shards_[shard].append(index, timestamp, frame_bytes, remote, up);
+}
+
 void StreamingCaptureAnalyzer::ingest(BytesView frame, SimTime timestamp) {
     const std::uint64_t index = packets_total_++;
-    auto parsed = net::parse_packet_view(frame, timestamp);
-    if (!parsed || !parsed.value().ip) {
+    // summarize_frame replicates parse_packet_view's accept/reject decisions
+    // exactly (see net/fast_parse.hpp); `attributable` is the complement of
+    // the serial path's unparseable bucket, and `dns_payload` is the UDP
+    // payload DnsMap would harvest from a source-port-53 datagram.
+    const net::FrameSummary summary = net::summarize_frame(frame);
+    if (!summary.attributable) {
         ++unparseable_;
         return;
     }
-    dns_.ingest(parsed.value(), index);
-
-    const auto& ip = *parsed.value().ip;
-    const bool up = ip.source == device_ip_;
-    const bool down = ip.destination == device_ip_;
-    if (!up && !down) return;  // not the device's traffic (should not happen)
-
-    PacketMeta meta;
-    meta.index = index;
-    meta.timestamp = timestamp;
-    meta.frame_bytes = static_cast<std::uint32_t>(frame.size());
-    meta.remote = up ? ip.destination : ip.source;
-    meta.device_to_server = up;
-    // splitmix64 partitioning: deterministic across platforms and runs, and
-    // well-mixed even for adjacent addresses in one subnet.
-    const std::size_t shard = static_cast<std::size_t>(
-        splitmix64(meta.remote.value()) % shards_.size());
-    shards_[shard].push_back(meta);
+    if (!summary.dns_payload.empty()) {
+        dns_.ingest_payload(summary.dns_payload, timestamp, index);
+    }
+    bucket_packet(index, timestamp, static_cast<std::uint32_t>(frame.size()), summary.source,
+                  summary.destination);
 }
 
 void StreamingCaptureAnalyzer::ingest(const DecodedRecord& record) {
@@ -59,62 +65,82 @@ void StreamingCaptureAnalyzer::ingest(const DecodedRecord& record) {
     if (!record.dns_payload.empty()) {
         dns_.ingest_payload(record.dns_payload, record.timestamp, index);
     }
-
-    const bool up = record.source == device_ip_;
-    const bool down = record.destination == device_ip_;
-    if (!up && !down) return;  // not the device's traffic (should not happen)
-
-    PacketMeta meta;
-    meta.index = index;
-    meta.timestamp = record.timestamp;
-    meta.frame_bytes = record.frame_bytes;
-    meta.remote = up ? record.destination : record.source;
-    meta.device_to_server = up;
-    const std::size_t shard = static_cast<std::size_t>(
-        splitmix64(meta.remote.value()) % shards_.size());
-    shards_[shard].push_back(meta);
+    bucket_packet(index, record.timestamp, record.frame_bytes, record.source,
+                  record.destination);
 }
 
 StreamingCaptureAnalyzer::ShardPartial StreamingCaptureAnalyzer::attribute_shard(
-    const std::vector<PacketMeta>& metas) const {
+    const PacketMetaColumns& metas) const {
     ShardPartial partial;
     // Per-remote route cache: the mapping lookup and the domain-slot binding
-    // happen once per (address, resolved-state), not once per packet.
+    // happen once per (address, resolved-state), not once per packet. The
+    // table is open-addressing over arena storage — all entries die together
+    // when the shard's partial has been merged, so individual frees would be
+    // pure overhead (and the task-local arena keeps allocation off the
+    // global heap while shards run in parallel).
     struct IpRoute {
+        std::uint32_t address = 0;
+        bool occupied = false;
         const DnsMap::Mapping* mapping = nullptr;
         PartialDomain* resolved = nullptr;
         PartialDomain* unresolved = nullptr;
-        bool looked_up = false;
     };
-    std::unordered_map<std::uint32_t, IpRoute> routes;
-    routes.reserve(64);
+    common::Arena arena;
+    std::span<IpRoute> routes = arena.make_zeroed_array<IpRoute>(64);
+    std::size_t route_count = 0;
 
-    for (const auto& meta : metas) {
-        IpRoute& route = routes[meta.remote.value()];
-        if (!route.looked_up) {
-            route.mapping = dns_.mapping_of(meta.remote);
-            route.looked_up = true;
+    const auto find_slot = [](std::span<IpRoute> table, std::uint32_t address) -> IpRoute& {
+        std::size_t slot = static_cast<std::size_t>(splitmix64(address)) & (table.size() - 1);
+        while (table[slot].occupied && table[slot].address != address) {
+            slot = (slot + 1) & (table.size() - 1);
+        }
+        return table[slot];
+    };
+
+    const std::size_t count = metas.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint32_t remote = metas.remote[i];
+        IpRoute* route = &find_slot(routes, remote);
+        if (!route->occupied) {
+            if ((route_count + 1) * 4 > routes.size() * 3) {
+                // Load factor 3/4: rehash into a table 4x the size. The old
+                // table stays in the arena until the partial is merged.
+                std::span<IpRoute> grown = arena.make_zeroed_array<IpRoute>(routes.size() * 4);
+                for (const IpRoute& old : routes) {
+                    if (old.occupied) find_slot(grown, old.address) = old;
+                }
+                routes = grown;
+                route = &find_slot(routes, remote);
+            }
+            ++route_count;
+            route->address = remote;
+            route->occupied = true;
+            route->mapping = dns_.mapping_of(net::Ipv4Address{remote});
         }
         // A mapping only exists for this packet if its DNS response appeared
         // at or before this capture position (the response packet itself
         // counts: the serial path harvests DNS before attributing).
-        const bool resolved = route.mapping != nullptr && route.mapping->birth_index <= meta.index;
-        PartialDomain*& slot = resolved ? route.resolved : route.unresolved;
+        const std::uint64_t index = metas.index[i];
+        const bool resolved = route->mapping != nullptr && route->mapping->birth_index <= index;
+        PartialDomain*& slot = resolved ? route->resolved : route->unresolved;
+        const net::Ipv4Address remote_ip{remote};
         if (slot == nullptr) {
             const std::string domain =
-                resolved ? route.mapping->domain : "unresolved:" + meta.remote.to_string();
+                resolved ? route->mapping->domain : "unresolved:" + remote_ip.to_string();
             slot = &partial[domain];
-            slot->addresses.emplace_back(meta.remote, meta.index);
+            slot->addresses.emplace_back(remote_ip, index);
         }
+        const std::uint32_t frame_bytes = metas.frame_bytes[i];
+        const bool up = metas.device_to_server[i] != 0;
         slot->packets += 1;
-        if (meta.device_to_server) {
-            slot->bytes_up += meta.frame_bytes;
+        if (up) {
+            slot->bytes_up += frame_bytes;
         } else {
-            slot->bytes_down += meta.frame_bytes;
+            slot->bytes_down += frame_bytes;
         }
-        slot->events.push_back(PacketEvent{meta.timestamp, meta.frame_bytes,
-                                           meta.device_to_server});
-        slot->event_indices.push_back(meta.index);
+        slot->events.push_back(
+            PacketEvent{SimTime::micros(metas.timestamp_us[i]), frame_bytes, up});
+        slot->event_indices.push_back(index);
     }
     return partial;
 }

@@ -78,14 +78,35 @@ class StreamingCaptureAnalyzer {
     [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
 
   private:
-    /// Everything pass 2 needs about one attributable packet: 32 bytes
-    /// instead of the full frame.
-    struct PacketMeta {
-        std::uint64_t index = 0;  // capture position, globally unique
-        SimTime timestamp;
-        std::uint32_t frame_bytes = 0;
-        net::Ipv4Address remote;
-        bool device_to_server = false;
+    /// Everything pass 2 needs about the shard's packets, laid out as
+    /// structure-of-arrays: pass 1 appends four scalar columns (no struct
+    /// padding — ~21 bytes/packet instead of 32), and pass 2's hot loop
+    /// walks the remote column with the other columns only touched on a
+    /// route hit. Column i across all five vectors describes one packet;
+    /// capture order is preserved, so `index` is strictly increasing.
+    struct PacketMetaColumns {
+        std::vector<std::uint64_t> index;        // capture position, globally unique
+        std::vector<std::int64_t> timestamp_us;  // SimTime::as_micros()
+        std::vector<std::uint32_t> frame_bytes;
+        std::vector<std::uint32_t> remote;  // Ipv4Address::value()
+        std::vector<std::uint8_t> device_to_server;
+
+        [[nodiscard]] std::size_t size() const noexcept { return index.size(); }
+        void append(std::uint64_t idx, SimTime ts, std::uint32_t bytes, net::Ipv4Address rem,
+                    bool up) {
+            index.push_back(idx);
+            timestamp_us.push_back(ts.as_micros());
+            frame_bytes.push_back(bytes);
+            remote.push_back(rem.value());
+            device_to_server.push_back(up ? 1 : 0);
+        }
+        void clear() noexcept {
+            index.clear();
+            timestamp_us.clear();
+            frame_bytes.clear();
+            remote.clear();
+            device_to_server.clear();
+        }
     };
 
     /// Per-shard, per-domain accumulation; merged across shards in finish().
@@ -99,12 +120,16 @@ class StreamingCaptureAnalyzer {
     };
     using ShardPartial = std::map<std::string, PartialDomain>;
 
-    [[nodiscard]] ShardPartial attribute_shard(const std::vector<PacketMeta>& metas) const;
+    /// Shared pass-1 tail: buckets one attributable packet by its remote.
+    void bucket_packet(std::uint64_t index, SimTime timestamp, std::uint32_t frame_bytes,
+                       net::Ipv4Address source, net::Ipv4Address destination);
+
+    [[nodiscard]] ShardPartial attribute_shard(const PacketMetaColumns& metas) const;
 
     net::Ipv4Address device_ip_;
     common::ThreadPool* pool_ = nullptr;
     DnsMap dns_;
-    std::vector<std::vector<PacketMeta>> shards_;
+    std::vector<PacketMetaColumns> shards_;
     std::uint64_t packets_total_ = 0;
     std::uint64_t unparseable_ = 0;
 };

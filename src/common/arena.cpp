@@ -1,0 +1,54 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tvacr::common {
+
+namespace {
+
+std::uintptr_t align_up(std::uintptr_t value, std::size_t align) noexcept {
+    return (value + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
+}
+
+}  // namespace
+
+std::size_t Arena::aligned_offset(const Chunk& chunk, std::size_t align) noexcept {
+    const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    return static_cast<std::size_t>(align_up(base + chunk.used, align) - base);
+}
+
+Arena::Chunk& Arena::chunk_with_room(std::size_t size, std::size_t align) {
+    for (; active_ < chunks_.size(); ++active_) {
+        Chunk& chunk = chunks_[active_];
+        if (aligned_offset(chunk, align) + size <= chunk.capacity) return chunk;
+    }
+    // An oversized request gets a dedicated chunk; everything else shares
+    // the standard granularity so reset() keeps a compact freelist. The
+    // +align slack guarantees the aligned offset still fits.
+    const std::size_t capacity = std::max(chunk_bytes_, size + align);
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(capacity);
+    chunk.capacity = capacity;
+    bytes_reserved_ += capacity;
+    chunks_.push_back(std::move(chunk));
+    active_ = chunks_.size() - 1;
+    return chunks_.back();
+}
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+    if (size == 0) size = 1;
+    Chunk& chunk = chunk_with_room(size, align);
+    const std::size_t offset = aligned_offset(chunk, align);
+    chunk.used = offset + size;
+    bytes_allocated_ += size;
+    return chunk.data.get() + offset;
+}
+
+void Arena::reset() noexcept {
+    for (Chunk& chunk : chunks_) chunk.used = 0;
+    active_ = 0;
+    bytes_allocated_ = 0;
+}
+
+}  // namespace tvacr::common

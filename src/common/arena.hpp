@@ -1,0 +1,92 @@
+// Chunked bump allocator for short-lived, same-lifetime allocations.
+//
+// The streaming analyzer's pass-2 shard tasks build thousands of tiny
+// route-table entries whose lifetimes all end together when the shard's
+// partial is merged. A general-purpose heap pays per-allocation metadata
+// and lock traffic for that pattern; an arena is a pointer bump, and the
+// whole population is released in O(chunks) by reset() or destruction.
+//
+// Only trivially-destructible types may live in an arena: reset() rewinds
+// without running destructors. Each Arena instance is single-threaded;
+// shard tasks each own their own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace tvacr::common {
+
+class Arena {
+  public:
+    static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+    explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes) : chunk_bytes_(chunk_bytes) {}
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+    Arena(Arena&&) noexcept = default;
+    Arena& operator=(Arena&&) noexcept = default;
+
+    /// Raw aligned allocation. Never returns nullptr (allocation failure
+    /// throws std::bad_alloc like any container). Alignment must be a
+    /// power of two.
+    void* allocate(std::size_t size, std::size_t align);
+
+    /// Uninitialized array of `n` trivially-destructible T.
+    template <typename T>
+    [[nodiscard]] std::span<T> make_array(std::size_t n) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena never runs destructors; only trivially-destructible types fit");
+        if (n == 0) return {};
+        return {static_cast<T*>(allocate(n * sizeof(T), alignof(T))), n};
+    }
+
+    /// Value-initialized (zeroed, for scalars) array of `n` T.
+    template <typename T>
+    [[nodiscard]] std::span<T> make_zeroed_array(std::size_t n) {
+        auto out = make_array<T>(n);
+        for (auto& slot : out) slot = T{};
+        return out;
+    }
+
+    /// Single value constructed in place.
+    template <typename T, typename... Args>
+    [[nodiscard]] T* make(Args&&... args) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena never runs destructors; only trivially-destructible types fit");
+        // tvacr-lint: allow(no-raw-new-delete) placement-new into arena storage, nothing to delete
+        return ::new (allocate(sizeof(T), alignof(T))) T(static_cast<Args&&>(args)...);
+    }
+
+    /// Rewinds to empty, retaining every chunk for reuse. Previously
+    /// returned pointers are invalidated.
+    void reset() noexcept;
+
+    [[nodiscard]] std::size_t bytes_allocated() const noexcept { return bytes_allocated_; }
+    [[nodiscard]] std::size_t bytes_reserved() const noexcept { return bytes_reserved_; }
+
+  private:
+    struct Chunk {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t capacity = 0;
+        std::size_t used = 0;
+    };
+
+    /// Bump offset within `chunk` whose *absolute address* satisfies
+    /// `align` (the chunk base is only new[]-aligned).
+    static std::size_t aligned_offset(const Chunk& chunk, std::size_t align) noexcept;
+
+    Chunk& chunk_with_room(std::size_t size, std::size_t align);
+
+    std::vector<Chunk> chunks_;
+    std::size_t active_ = 0;  // chunks_[active_..] have room; [0..active_) are full
+    std::size_t chunk_bytes_;
+    std::size_t bytes_allocated_ = 0;
+    std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace tvacr::common

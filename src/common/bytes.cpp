@@ -53,42 +53,37 @@ Result<std::uint8_t> ByteReader::u8() {
 
 Result<std::uint16_t> ByteReader::u16() {
     if (remaining() < 2) return make_error("ByteReader: read u16 past end");
-    const auto hi = data_[position_];
-    const auto lo = data_[position_ + 1];
+    const std::uint16_t v = bytes::load_u16be(data_.data() + position_);
     position_ += 2;
-    return static_cast<std::uint16_t>((hi << 8) | lo);
+    return v;
 }
 
 Result<std::uint32_t> ByteReader::u32() {
-    auto hi = u16();
-    if (!hi) return hi.error();
-    auto lo = u16();
-    if (!lo) return lo.error();
-    return (static_cast<std::uint32_t>(hi.value()) << 16) | lo.value();
+    if (remaining() < 4) return make_error("ByteReader: read u32 past end");
+    const std::uint32_t v = bytes::load_u32be(data_.data() + position_);
+    position_ += 4;
+    return v;
 }
 
 Result<std::uint64_t> ByteReader::u64() {
-    auto hi = u32();
-    if (!hi) return hi.error();
-    auto lo = u32();
-    if (!lo) return lo.error();
-    return (static_cast<std::uint64_t>(hi.value()) << 32) | lo.value();
+    if (remaining() < 8) return make_error("ByteReader: read u64 past end");
+    const std::uint64_t v = bytes::load_u64be(data_.data() + position_);
+    position_ += 8;
+    return v;
 }
 
 Result<std::uint16_t> ByteReader::u16le() {
     if (remaining() < 2) return make_error("ByteReader: read u16le past end");
-    const auto lo = data_[position_];
-    const auto hi = data_[position_ + 1];
+    const std::uint16_t v = bytes::load_u16le(data_.data() + position_);
     position_ += 2;
-    return static_cast<std::uint16_t>((hi << 8) | lo);
+    return v;
 }
 
 Result<std::uint32_t> ByteReader::u32le() {
-    auto lo = u16le();
-    if (!lo) return lo.error();
-    auto hi = u16le();
-    if (!hi) return hi.error();
-    return (static_cast<std::uint32_t>(hi.value()) << 16) | lo.value();
+    if (remaining() < 4) return make_error("ByteReader: read u32le past end");
+    const std::uint32_t v = bytes::load_u32le(data_.data() + position_);
+    position_ += 4;
+    return v;
 }
 
 Result<Bytes> ByteReader::raw(std::size_t count) {

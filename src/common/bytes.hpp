@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -14,6 +15,78 @@ namespace tvacr {
 
 using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
+
+namespace bytes {
+
+// Fixed-width loads from byte buffers. memcpy is the only portable way to
+// read a multi-byte integer from an arbitrarily aligned byte pointer —
+// pointer-cast loads are undefined behaviour on strict-alignment targets
+// (and flagged by -fsanitize=alignment). Every compiler we build with
+// folds the memcpy + byte swap into a single load instruction.
+//
+// The caller is responsible for bounds: `p` must have the full width
+// readable. These helpers are the parse-path primitives; ByteReader wraps
+// them with bounds checks for sequential decoding.
+
+[[nodiscard]] inline std::uint16_t load_u16be(const std::uint8_t* p) noexcept {
+    std::uint16_t v;
+    std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#else
+    return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+#endif
+}
+
+[[nodiscard]] inline std::uint32_t load_u32be(const std::uint8_t* p) noexcept {
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#elif defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap32(v);
+#else
+    return ((v & 0xFF000000U) >> 24) | ((v & 0x00FF0000U) >> 8) | ((v & 0x0000FF00U) << 8) |
+           ((v & 0x000000FFU) << 24);
+#endif
+}
+
+[[nodiscard]] inline std::uint64_t load_u64be(const std::uint8_t* p) noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#elif defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap64(v);
+#else
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r = (r << 8) | ((v >> (i * 8)) & 0xFF);
+    return r;
+#endif
+}
+
+[[nodiscard]] inline std::uint16_t load_u16le(const std::uint8_t* p) noexcept {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+#else
+    std::uint16_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+#endif
+}
+
+[[nodiscard]] inline std::uint32_t load_u32le(const std::uint8_t* p) noexcept {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+#else
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+#endif
+}
+
+}  // namespace bytes
 
 /// Appends integers and raw bytes to a growing buffer in network byte order.
 /// All multi-byte writes are big-endian, matching on-the-wire protocol fields.

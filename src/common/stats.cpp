@@ -22,15 +22,18 @@ double variance(std::span<const double> xs) {
 
 double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 
-double percentile(std::span<double> xs, double q) {
+namespace {
+
+// Selection on a buffer the caller has already ceded: place element `lo`,
+// then the next order statistic (when distinct) is the minimum of the
+// upper partition.
+double percentile_select(std::span<double> xs, double q) {
     if (xs.empty()) return 0.0;
     q = std::clamp(q, 0.0, 1.0);
     const double rank = q * static_cast<double>(xs.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const auto hi = std::min(lo + 1, xs.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    // Selection instead of a full sort: place element `lo`, then the next
-    // order statistic (when distinct) is the minimum of the upper partition.
     const auto lo_it = xs.begin() + static_cast<std::ptrdiff_t>(lo);
     std::nth_element(xs.begin(), lo_it, xs.end());
     const double lo_value = *lo_it;
@@ -39,8 +42,18 @@ double percentile(std::span<double> xs, double q) {
     return lo_value + (hi_value - lo_value) * frac;
 }
 
+}  // namespace
+
+double percentile(std::span<const double> xs, double q) {
+    // nth_element needs mutable storage; reordering the caller's samples
+    // would corrupt any later quantile taken from the same buffer, so the
+    // scratch copy lives here.
+    std::vector<double> scratch(xs.begin(), xs.end());
+    return percentile_select(scratch, q);
+}
+
 double percentile(std::vector<double> xs, double q) {
-    return percentile(std::span<double>(xs), q);
+    return percentile_select(std::span<double>(xs), q);
 }
 
 double coefficient_of_variation(std::span<const double> xs) {

@@ -17,12 +17,13 @@ namespace tvacr {
 [[nodiscard]] double stddev(std::span<const double> xs);
 
 /// Linear-interpolated percentile; q in [0,1]. Returns 0 for empty input.
-/// Partially reorders `xs` in place (std::nth_element — O(n) instead of a
-/// full sort); pass a scratch copy if the order matters.
-[[nodiscard]] double percentile(std::span<double> xs, double q);
+/// Selection-based (std::nth_element on an internal scratch copy — O(n)
+/// instead of a full sort); the caller's buffer is never reordered, so one
+/// sample buffer can serve several quantile queries.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
 
-/// Convenience overload taking its scratch copy by value. Same result as
-/// the span overload on any input.
+/// Convenience overload taking its scratch copy by value; selection runs
+/// directly on the moved-in buffer. Same result as the span overload.
 [[nodiscard]] double percentile(std::vector<double> xs, double q);
 
 /// Coefficient of variation (stddev/mean); 0 when the mean is 0.

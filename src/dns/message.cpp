@@ -60,9 +60,9 @@ void encode_record(const ResourceRecord& record, ByteWriter& out, CompressionMap
     out.patch_u16(rdlength_offset, static_cast<std::uint16_t>(out.size() - rdata_start));
 }
 
-Result<ResourceRecord> decode_record(ByteReader& in) {
+Result<ResourceRecord> decode_record(ByteReader& in, NameCache& names) {
     ResourceRecord record;
-    auto name = decode_name(in);
+    auto name = decode_name(in, &names);
     if (!name) return name.error();
     record.name = std::move(name).value();
 
@@ -91,7 +91,7 @@ Result<ResourceRecord> decode_record(ByteReader& in) {
         case RecordType::kNs:
         case RecordType::kCname:
         case RecordType::kPtr: {
-            auto target = decode_name(in);
+            auto target = decode_name(in, &names);
             if (!target) return target.error();
             record.rdata = std::move(target).value();
             break;
@@ -150,6 +150,10 @@ Bytes DnsMessage::encode() const {
 Result<DnsMessage> DnsMessage::decode(BytesView wire) {
     ByteReader in(wire);
     DnsMessage message;
+    // One name memo per message: question names are decoded once, and the
+    // answer records' owner-name pointers (which typically all target the
+    // question name) splice from the memo instead of re-chasing pointers.
+    NameCache names;
 
     auto id = in.u16();
     if (!id) return id.error();
@@ -174,7 +178,7 @@ Result<DnsMessage> DnsMessage::decode(BytesView wire) {
 
     for (std::uint16_t i = 0; i < qdcount.value(); ++i) {
         Question question;
-        auto name = decode_name(in);
+        auto name = decode_name(in, &names);
         if (!name) return name.error();
         question.name = std::move(name).value();
         auto type = in.u16();
@@ -188,7 +192,7 @@ Result<DnsMessage> DnsMessage::decode(BytesView wire) {
     const auto decode_section = [&](std::uint16_t count,
                                     std::vector<ResourceRecord>& section) -> Status {
         for (std::uint16_t i = 0; i < count; ++i) {
-            auto record = decode_record(in);
+            auto record = decode_record(in, names);
             if (!record) return record.error();
             section.push_back(std::move(record).value());
         }

@@ -1,33 +1,45 @@
 #include "fp/matcher.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "fp/swar.hpp"
 #include "fp/video_fp.hpp"
 
 namespace tvacr::fp {
 
-MatchServer::MatchServer(const ContentLibrary& library, Options options)
-    : library_(library), options_(options) {
-    reindex();
-}
+namespace {
 
-void MatchServer::reindex() {
-    index_.clear();
-    indexed_hashes_ = 0;
-    for (const auto& [content_id, entry] : library_.entries()) {
-        for (std::size_t position = 0; position < entry.hashes.size(); ++position) {
-            const VideoHash hash = entry.hashes[position];
-            for (int band = 0; band < 4; ++band) {
-                const auto value = static_cast<std::uint16_t>(hash >> (band * 16));
-                index_.emplace(band_key(band, value),
-                               Posting{content_id, static_cast<std::uint32_t>(position)});
-            }
-            ++indexed_hashes_;
+/// One record's best-verified candidate. Both engines pick the minimum of
+/// (distance, content_id, position) — a total order, so the choice is
+/// independent of scan order — and report no candidate when nothing lands
+/// within max_hamming.
+struct Candidate {
+    int distance = 0;
+    std::uint64_t content_id = 0;
+    std::uint32_t position = 0;
+    bool valid = false;
+
+    void consider(int d, std::uint64_t content, std::uint32_t pos) noexcept {
+        if (!valid || d < distance ||
+            (d == distance &&
+             (content < content_id || (content == content_id && pos < position)))) {
+            distance = d;
+            content_id = content;
+            position = pos;
+            valid = true;
         }
     }
-}
+};
 
-std::optional<MatchResult> MatchServer::match(const FingerprintBatch& batch) const {
+/// Voting + winner selection + audio corroboration, shared verbatim by the
+/// banded and reference engines; only the per-record candidate search
+/// (`find_best`) differs. Keeping this in one place is what makes the
+/// byte-identity contract between the engines checkable at all.
+template <typename FindBest>
+std::optional<MatchResult> resolve_match(const ContentLibrary& library,
+                                         const MatchOptions& options,
+                                         const FingerprintBatch& batch, FindBest&& find_best) {
     if (batch.records.empty()) return std::nullopt;
 
     // Votes keyed by (content, aligned start bucket). The alignment bucket is
@@ -51,7 +63,7 @@ std::optional<MatchResult> MatchServer::match(const FingerprintBatch& batch) con
     };
     std::unordered_map<Key, Tally, KeyHash> votes;
 
-    const std::int64_t tolerance_us = options_.offset_tolerance.as_micros();
+    const std::int64_t tolerance_us = options.offset_tolerance.as_micros();
     const std::int64_t reference_us = ContentLibrary::kReferencePeriod.as_micros();
 
     // Voting over every record is wasteful for dense batches (LG uploads
@@ -64,32 +76,15 @@ std::optional<MatchResult> MatchServer::match(const FingerprintBatch& batch) con
     for (std::size_t i = 0; i < batch.records.size(); i += stride) {
         const auto& record = batch.records[i];
         ++sampled;
-        // Best candidate across the four bands: one vote per record.
-        const Posting* best_posting = nullptr;
-        int best_distance = options_.max_hamming + 1;
-        for (int band = 0; band < 4; ++band) {
-            const auto value = static_cast<std::uint16_t>(record.video >> (band * 16));
-            const auto [begin, end] = index_.equal_range(band_key(band, value));
-            for (auto it = begin; it != end; ++it) {
-                const auto& entry = library_.entries().at(it->second.content_id);
-                const VideoHash reference = entry.hashes[it->second.position];
-                const int distance = hamming(reference, record.video);
-                if (distance < best_distance) {
-                    best_distance = distance;
-                    best_posting = &it->second;
-                }
-            }
-        }
-        if (best_posting == nullptr) continue;
-        const std::int64_t content_us =
-            static_cast<std::int64_t>(best_posting->position) * reference_us;
+        const Candidate best = find_best(record.video);
+        if (!best.valid) continue;
+        const std::int64_t content_us = static_cast<std::int64_t>(best.position) * reference_us;
         const std::int64_t start_us =
             content_us - static_cast<std::int64_t>(record.offset_ms) * 1000;
         // Round (not floor) to the bucket centre so a session start near a
         // bucket edge does not split its votes between two buckets.
-        const std::int64_t bucket =
-            (start_us + tolerance_us / 2) / tolerance_us;
-        auto& tally = votes[Key{best_posting->content_id, bucket}];
+        const std::int64_t bucket = (start_us + tolerance_us / 2) / tolerance_us;
+        auto& tally = votes[Key{best.content_id, bucket}];
         tally.votes += 1;
         if (tally.distinct == 0 || tally.last_hash != record.video) {
             tally.distinct += 1;
@@ -97,21 +92,32 @@ std::optional<MatchResult> MatchServer::match(const FingerprintBatch& batch) con
         }
     }
 
-    const auto best = std::max_element(
-        votes.begin(), votes.end(),
-        [](const auto& a, const auto& b) { return a.second.votes < b.second.votes; });
-    if (best == votes.end()) return std::nullopt;
-    if (best->second.distinct < options_.min_distinct_evidence) return std::nullopt;
+    // Winner: most votes; equal-vote ties go to the lowest content id, then
+    // the earliest alignment bucket. A total order over the tally keys, so
+    // the unordered_map's iteration order cannot leak into the result.
+    const Key* best_key = nullptr;
+    const Tally* best_tally = nullptr;
+    for (const auto& [key, tally] : votes) {
+        if (best_tally == nullptr || tally.votes > best_tally->votes ||
+            (tally.votes == best_tally->votes &&
+             (key.content < best_key->content ||
+              (key.content == best_key->content && key.bucket < best_key->bucket)))) {
+            best_key = &key;
+            best_tally = &tally;
+        }
+    }
+    if (best_tally == nullptr) return std::nullopt;
+    if (best_tally->distinct < options.min_distinct_evidence) return std::nullopt;
 
     const double confidence =
-        static_cast<double>(best->second.votes) / static_cast<double>(sampled);
-    if (confidence < options_.min_confidence) return std::nullopt;
+        static_cast<double>(best_tally->votes) / static_cast<double>(sampled);
+    if (confidence < options.min_confidence) return std::nullopt;
 
     MatchResult result;
-    result.content_id = best->first.content;
-    result.content_offset = SimTime::micros(std::max<std::int64_t>(
-        0, best->first.bucket * tolerance_us));
-    result.votes = best->second.votes;
+    result.content_id = best_key->content;
+    result.content_offset =
+        SimTime::micros(std::max<std::int64_t>(0, best_key->bucket * tolerance_us));
+    result.votes = best_tally->votes;
     result.confidence = std::min(confidence, 1.0);
 
     // Audio corroboration: compare the batch's audio hashes against the
@@ -119,15 +125,16 @@ std::optional<MatchResult> MatchServer::match(const FingerprintBatch& batch) con
     // exact per-step alignment unnecessary — agreement within +/-1 step
     // counts.
     if (batch.has_audio) {
-        const auto reference_audio = library_.reference_audio(result.content_id);
+        const auto reference_audio = library.reference_audio(result.content_id);
         if (!reference_audio.empty()) {
             int audio_checked = 0;
             int audio_agree = 0;
             for (std::size_t i = 0; i < batch.records.size(); i += stride) {
                 const auto& record = batch.records[i];
                 if (record.audio == 0) continue;
-                const std::int64_t position_us = result.content_offset.as_micros() +
-                                                 static_cast<std::int64_t>(record.offset_ms) * 1000;
+                const std::int64_t position_us =
+                    result.content_offset.as_micros() +
+                    static_cast<std::int64_t>(record.offset_ms) * 1000;
                 const std::int64_t step = position_us / reference_us;
                 ++audio_checked;
                 for (std::int64_t probe = step - 1; probe <= step + 1; ++probe) {
@@ -148,6 +155,130 @@ std::optional<MatchResult> MatchServer::match(const FingerprintBatch& batch) con
         }
     }
     return result;
+}
+
+}  // namespace
+
+MatchServer::MatchServer(const ContentLibrary& library, Options options)
+    : library_(library), options_(options) {
+    reindex();
+}
+
+void MatchServer::reindex() {
+    indexed_hashes_ = 0;
+
+    // Deterministic build order — content ids ascending — so the postings
+    // within every bucket come out sorted by (content_id, position) no
+    // matter how the library's hash map is laid out.
+    std::vector<std::uint64_t> content_ids;
+    content_ids.reserve(library_.entries().size());
+    std::size_t total_hashes = 0;
+    for (const auto& [content_id, entry] : library_.entries()) {
+        content_ids.push_back(content_id);
+        total_hashes += entry.hashes.size();
+    }
+    std::sort(content_ids.begin(), content_ids.end());
+
+    // Counting sort into the flat two-level layout: size every (band, value)
+    // bucket, prefix-sum into offsets, then place postings. Placement order
+    // follows the sorted content walk, so within-bucket order is already
+    // (content_id, position).
+    std::vector<std::uint32_t> counts(kBucketCount, 0);
+    for (const std::uint64_t content_id : content_ids) {
+        for (const VideoHash hash : library_.entries().at(content_id).hashes) {
+            for (int band = 0; band < kBands; ++band) {
+                const auto value = static_cast<std::uint16_t>(hash >> (band * 16));
+                ++counts[(static_cast<std::size_t>(band) << 16) | value];
+            }
+        }
+    }
+    bucket_start_.assign(kBucketCount + 1, 0);
+    std::uint32_t running = 0;
+    for (std::size_t bucket = 0; bucket < kBucketCount; ++bucket) {
+        bucket_start_[bucket] = running;
+        running += counts[bucket];
+    }
+    bucket_start_[kBucketCount] = running;
+
+    const std::size_t total_postings = total_hashes * kBands;
+    posting_hash_.assign(total_postings, 0);
+    posting_content_.assign(total_postings, 0);
+    posting_position_.assign(total_postings, 0);
+    std::vector<std::uint32_t> cursor(bucket_start_.begin(), bucket_start_.end() - 1);
+    for (const std::uint64_t content_id : content_ids) {
+        const auto& entry = library_.entries().at(content_id);
+        for (std::size_t position = 0; position < entry.hashes.size(); ++position) {
+            const VideoHash hash = entry.hashes[position];
+            for (int band = 0; band < kBands; ++band) {
+                const auto value = static_cast<std::uint16_t>(hash >> (band * 16));
+                const std::size_t bucket = (static_cast<std::size_t>(band) << 16) | value;
+                const std::uint32_t at = cursor[bucket]++;
+                posting_hash_[at] = hash;
+                posting_content_[at] = content_id;
+                posting_position_[at] = static_cast<std::uint32_t>(position);
+            }
+            ++indexed_hashes_;
+        }
+    }
+}
+
+std::optional<MatchResult> MatchServer::match(const FingerprintBatch& batch) const {
+    const auto find_best = [this](VideoHash query) {
+        Candidate best;
+        const int max_hamming = options_.max_hamming;
+        for (int band = 0; band < kBands; ++band) {
+            const auto value = static_cast<std::uint16_t>(query >> (band * 16));
+            const std::size_t bucket = (static_cast<std::size_t>(band) << 16) | value;
+            std::size_t i = bucket_start_[bucket];
+            const std::size_t end = bucket_start_[bucket + 1];
+            // Verify in packed 4-wide blocks; the scalar kernel mops up the
+            // tail. Same arithmetic either way (fp/swar.hpp), distances are
+            // exact, and the (distance, content, position) total order makes
+            // block traversal order irrelevant.
+            for (; i + 4 <= end; i += 4) {
+                const swar::Distances4 d4 = swar::hamming4(&posting_hash_[i], query);
+                if (d4.d0 <= max_hamming) {
+                    best.consider(d4.d0, posting_content_[i], posting_position_[i]);
+                }
+                if (d4.d1 <= max_hamming) {
+                    best.consider(d4.d1, posting_content_[i + 1], posting_position_[i + 1]);
+                }
+                if (d4.d2 <= max_hamming) {
+                    best.consider(d4.d2, posting_content_[i + 2], posting_position_[i + 2]);
+                }
+                if (d4.d3 <= max_hamming) {
+                    best.consider(d4.d3, posting_content_[i + 3], posting_position_[i + 3]);
+                }
+            }
+            for (; i < end; ++i) {
+                const int distance = swar::hamming1(posting_hash_[i], query);
+                if (distance <= max_hamming) {
+                    best.consider(distance, posting_content_[i], posting_position_[i]);
+                }
+            }
+        }
+        return best;
+    };
+    return resolve_match(library_, options_, batch, find_best);
+}
+
+std::optional<MatchResult> MatchServer::match_reference(const FingerprintBatch& batch) const {
+    const auto find_best = [this](VideoHash query) {
+        Candidate best;
+        // Every reference hash of every content, no index: hamming() is the
+        // plain std::popcount scalar path. The candidate total order makes
+        // the library's unordered iteration harmless.
+        for (const auto& [content_id, entry] : library_.entries()) {
+            for (std::size_t position = 0; position < entry.hashes.size(); ++position) {
+                const int distance = hamming(entry.hashes[position], query);
+                if (distance <= options_.max_hamming) {
+                    best.consider(distance, content_id, static_cast<std::uint32_t>(position));
+                }
+            }
+        }
+        return best;
+    };
+    return resolve_match(library_, options_, batch, find_best);
 }
 
 }  // namespace tvacr::fp

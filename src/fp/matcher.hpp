@@ -1,16 +1,37 @@
 // The ACR match server: identifies what content a fingerprint batch shows.
 //
-// Index: each 64-bit reference hash is cut into four 16-bit bands; a batch
+// Index: each 64-bit reference hash is cut into four 16-bit bands. The
+// band index is two-level: a flat offset table over all 4 * 65536 possible
+// (band, value) buckets pointing into one contiguous postings array sorted
+// by bucket (and, within a bucket, by content id then position). A batch
 // hash retrieves candidates sharing any band exactly (an LSH scheme — a
-// candidate within Hamming distance <= max_hamming must agree on at least
-// one band whenever max_hamming < 4 bands' worth of spread, and in practice
-// noise touches only a few bits). Candidates are verified by full Hamming
-// distance and vote for (content, time offset); the best-aligned content
-// wins when enough records agree.
+// candidate whose flipped bits touch at most three of the four bands must
+// agree on the remaining band), and candidates are verified by exact
+// Hamming distance over the postings' packed hash column with the SWAR
+// kernels in fp/swar.hpp. Verified candidates vote for (content, time
+// offset); the best-aligned content wins when enough records agree.
+//
+// match_reference() is the retained scalar engine: brute force over every
+// reference hash with std::popcount and no index. Its result is the
+// specification. Equality guarantee: whenever a record's nearest reference
+// hash lies within 3 bits, the two engines agree bit-for-bit — a <4-bit
+// difference cannot touch all four bands, so the brute-force winner (and
+// every candidate tied with it) is always retrieved. Beyond that, a
+// band-straddling near-collision with an unrelated reference at distance
+// 4..max_hamming may be visible only to the brute-force scan, so equality
+// for noisier queries is a property of the data, not a theorem. The
+// equivalence tests + bench_match enforce the guarantee on its provable
+// region and pin the noisier behaviour with seeded workloads.
+//
+// Determinism: both engines order candidates by (distance, content_id,
+// position) and alignments by (votes desc, content_id, bucket), so results
+// never depend on hash-map iteration order. (An earlier version leaked
+// unordered_multimap order into equal-distance candidate choices and
+// equal-vote winners; the tie-break regression tests pin the fix.)
 #pragma once
 
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "fp/batch.hpp"
 #include "fp/library.hpp"
@@ -56,23 +77,30 @@ class MatchServer {
     /// Rebuilds the band index from the library (call after library changes).
     void reindex();
 
+    /// Banded engine: band-LSH retrieval + SWAR-verified voting.
     [[nodiscard]] std::optional<MatchResult> match(const FingerprintBatch& batch) const;
+
+    /// Scalar reference engine: brute force over the whole library, no
+    /// index. Slow, obviously correct; the equivalence contract for match().
+    [[nodiscard]] std::optional<MatchResult> match_reference(const FingerprintBatch& batch) const;
 
     [[nodiscard]] std::size_t indexed_hashes() const noexcept { return indexed_hashes_; }
 
   private:
-    struct Posting {
-        std::uint64_t content_id;
-        std::uint32_t position;  // reference step index
-    };
+    static constexpr int kBands = 4;
+    static constexpr std::size_t kBucketCount = static_cast<std::size_t>(kBands) << 16;
 
-    [[nodiscard]] static std::uint64_t band_key(int band, std::uint16_t value) noexcept {
-        return (static_cast<std::uint64_t>(band) << 16) | value;
-    }
+    /// Flat two-level index (built by reindex): bucket_start_[b] ..
+    /// bucket_start_[b+1] delimit bucket b's postings in the three parallel
+    /// columns below. The hash column is what the SWAR verification loop
+    /// streams; content/position are only touched for surviving candidates.
+    std::vector<std::uint32_t> bucket_start_;    // kBucketCount + 1 offsets
+    std::vector<VideoHash> posting_hash_;        // full 64-bit hash per posting
+    std::vector<std::uint64_t> posting_content_;  // parallel: owning content id
+    std::vector<std::uint32_t> posting_position_;  // parallel: reference step
 
     const ContentLibrary& library_;
     Options options_;
-    std::unordered_multimap<std::uint64_t, Posting> index_;
     std::size_t indexed_hashes_ = 0;
 };
 

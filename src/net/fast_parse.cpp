@@ -1,0 +1,93 @@
+#include "net/fast_parse.hpp"
+
+#include "net/headers.hpp"
+
+namespace tvacr::net {
+
+namespace {
+
+// Layout offsets for the only header shapes the decoder accepts
+// (Ethernet II, IPv4 with IHL 5).
+constexpr std::size_t kIpStart = EthernetHeader::kSize;              // 14
+constexpr std::size_t kTransportStart = kIpStart + Ipv4Header::kSize;  // 34
+
+// RFC 1071 verification over the fixed 20-byte IPv4 header: the one's-
+// complement sum including the transmitted checksum field must fold to
+// zero. Identical arithmetic to net::internet_checksum(), specialized to
+// an even, known length so the compiler fully unrolls it.
+bool ipv4_checksum_ok(const std::uint8_t* header) noexcept {
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < Ipv4Header::kSize; i += 2) {
+        sum += bytes::load_u16be(header + i);
+    }
+    while ((sum >> 16) != 0) sum = (sum & 0xFFFF) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum) == 0;
+}
+
+}  // namespace
+
+FrameSummary summarize_frame(BytesView frame) noexcept {
+    FrameSummary out;
+    const std::uint8_t* p = frame.data();
+    const std::size_t n = frame.size();
+
+    // L2: EthernetHeader::decode fails past-end under 14 bytes; a non-IPv4
+    // EtherType parses as L2-only, which the analyzer counts unattributable.
+    if (n < kIpStart) return out;
+    if (bytes::load_u16be(p + 12) != static_cast<std::uint16_t>(EtherType::kIpv4)) return out;
+
+    // L3: Ipv4Header::decode needs the full 20 bytes, accepts only
+    // version/IHL 0x45, and verifies the header checksum. parse_packet_view
+    // then rejects total_length shorter than the header and frames whose
+    // remainder cannot hold the IP payload.
+    if (n < kTransportStart) return out;
+    if (p[kIpStart] != 0x45) return out;
+    if (!ipv4_checksum_ok(p + kIpStart)) return out;
+    const std::uint16_t total_length = bytes::load_u16be(p + kIpStart + 2);
+    if (total_length < Ipv4Header::kSize) return out;
+    const std::size_t ip_payload_len = total_length - Ipv4Header::kSize;
+    const std::size_t after_ip = n - kTransportStart;
+    if (after_ip < ip_payload_len) return out;
+
+    switch (static_cast<IpProtocol>(p[kIpStart + 9])) {
+        case IpProtocol::kTcp: {
+            // TcpHeader::decode: 20 fixed bytes, data offset >= 5 words,
+            // options skipped within the frame; the payload view then
+            // requires the full header to fit inside the IP payload (the
+            // subtraction is size_t, so an oversized header underflows to
+            // an impossible view length and the parse fails).
+            if (after_ip < TcpHeader::kSize) return out;
+            const std::size_t header_words = static_cast<std::size_t>(p[kTransportStart + 12]) >> 4;
+            if (header_words < 5) return out;
+            const std::size_t header_len = header_words * 4;
+            if (after_ip < header_len) return out;        // options truncated by the frame
+            if (header_len > ip_payload_len) return out;  // header claims more than the datagram
+            break;
+        }
+        case IpProtocol::kUdp: {
+            // UdpHeader::decode: 8 fixed bytes, length covers the header;
+            // the payload view is bounded by the *frame*, not the IP
+            // payload (UdpHeader::length is trusted within those bounds).
+            if (after_ip < UdpHeader::kSize) return out;
+            const std::uint16_t udp_length = bytes::load_u16be(p + kTransportStart + 4);
+            if (udp_length < UdpHeader::kSize) return out;
+            const std::size_t payload_len = udp_length - UdpHeader::kSize;
+            if (after_ip - UdpHeader::kSize < payload_len) return out;
+            if (bytes::load_u16be(p + kTransportStart) == 53) {
+                out.dns_payload = frame.subspan(kTransportStart + UdpHeader::kSize, payload_len);
+            }
+            break;
+        }
+        default:
+            // Unknown transport keeps the raw IP payload, which the bounds
+            // check above already guarantees is present.
+            break;
+    }
+
+    out.attributable = true;
+    out.source = Ipv4Address{bytes::load_u32be(p + kIpStart + 12)};
+    out.destination = Ipv4Address{bytes::load_u32be(p + kIpStart + 16)};
+    return out;
+}
+
+}  // namespace tvacr::net

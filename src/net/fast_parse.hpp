@@ -1,0 +1,45 @@
+// Branch-light single-pass frame summarization for the streaming hot loop.
+//
+// parse_packet_view() decodes every layer into header structs through the
+// bounds-checked ByteReader/Result machinery and heap-allocates twice per
+// frame for the MAC addresses. The streaming analyzer needs none of that
+// structure — per frame it consumes exactly four facts: was the frame an
+// acceptable Ethernet/IPv4 packet, its source and destination addresses,
+// and (for DNS harvesting) the UDP payload when the source port is 53.
+//
+// summarize_frame() computes those four facts directly from the frame
+// bytes with memcpy-based big-endian loads (common/bytes.hpp) and no
+// allocation. It is NOT a second opinion on what a valid frame is: every
+// accept/reject decision replicates parse_packet_view()'s observable
+// classification exactly — same truncation rules, same IPv4 checksum
+// verification, same TCP options / UDP length corner cases — and the
+// differential test in tests/test_net.cpp enforces that equivalence over
+// golden captures and crafted corner frames. If parse_packet_view's
+// semantics change, this file and that test must change with it.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace tvacr::net {
+
+/// The streaming analyzer's view of one frame: classification + routing
+/// facts only. `dns_payload` aliases the frame buffer (same lifetime rule
+/// as PacketView::payload).
+struct FrameSummary {
+    /// True iff parse_packet_view() would succeed AND find an IPv4 layer —
+    /// the exact complement of the streaming analyzer's `unparseable`
+    /// bucket (a well-formed ARP frame parses but still counts as
+    /// unattributable, so it is `false` here).
+    bool attributable = false;
+    Ipv4Address source;
+    Ipv4Address destination;
+    /// Non-empty only for an attributable UDP datagram with source port 53:
+    /// the datagram payload, exactly what DnsMap harvests.
+    BytesView dns_payload;
+};
+
+/// Classifies one captured frame. Never throws, never allocates.
+[[nodiscard]] FrameSummary summarize_frame(BytesView frame) noexcept;
+
+}  // namespace tvacr::net

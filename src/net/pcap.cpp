@@ -4,6 +4,14 @@
 #include <fstream>
 #include <ostream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define TVACR_PCAP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace tvacr::net {
 
 namespace {
@@ -132,6 +140,24 @@ Result<std::vector<Packet>> read_pcap_file(const std::string& path) {
 
 // --------------------------------------------------------------- PcapReader
 
+/// Owns one read-only file mapping; unmapped on destruction. Held behind a
+/// unique_ptr so PcapReader's defaulted moves stay correct.
+struct PcapReader::MappedFile {
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+
+    MappedFile(const std::uint8_t* d, std::size_t s) noexcept : data(d), size(s) {}
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+    ~MappedFile() {
+#if defined(TVACR_PCAP_HAVE_MMAP)
+        if (data != nullptr) {
+            ::munmap(const_cast<std::uint8_t*>(data), size);  // NOLINT: munmap wants void*
+        }
+#endif
+    }
+};
+
 PcapReader::~PcapReader() = default;
 PcapReader::PcapReader(PcapReader&&) noexcept = default;
 PcapReader& PcapReader::operator=(PcapReader&&) noexcept = default;
@@ -157,26 +183,19 @@ std::size_t PcapReader::buffered(std::size_t need) {
     return std::min(need, end_ - begin_);
 }
 
-Result<PcapReader> PcapReader::open(const std::string& path) {
-    PcapReader reader;
-    reader.file_ = std::make_unique<std::ifstream>(path, std::ios::binary);
-    if (!*reader.file_) return make_error("pcap: cannot open for reading: " + path);
-
-    if (reader.buffered(kPcapGlobalHeaderLen) < kPcapGlobalHeaderLen) {
-        return make_error("pcap: truncated file header");
-    }
-    ByteReader header(BytesView(reader.buffer_.data(), kPcapGlobalHeaderLen));
+Status PcapReader::parse_global_header(BytesView bytes) {
+    ByteReader header(bytes);
     auto magic = header.u32le();
     if (!magic) return magic.error();
     if (magic.value() == kPcapMagicMicros) {
-        reader.swapped_ = false;
+        swapped_ = false;
     } else if (magic.value() == 0xD4C3B2A1) {
-        reader.swapped_ = true;
+        swapped_ = true;
     } else {
         return make_error("pcap: unrecognized magic number");
     }
-    const auto read_u32 = [&](ByteReader& r) { return reader.swapped_ ? r.u32() : r.u32le(); };
-    const auto read_u16 = [&](ByteReader& r) { return reader.swapped_ ? r.u16() : r.u16le(); };
+    const auto read_u32 = [&](ByteReader& r) { return swapped_ ? r.u32() : r.u32le(); };
+    const auto read_u16 = [&](ByteReader& r) { return swapped_ ? r.u16() : r.u16le(); };
     auto major = read_u16(header);
     if (!major) return major.error();
     if (major.value() != 2) return make_error("pcap: unsupported major version");
@@ -188,15 +207,99 @@ Result<PcapReader> PcapReader::open(const std::string& path) {
     if (linktype.value() != kPcapLinkTypeEthernet) {
         return make_error("pcap: unsupported link type (want Ethernet)");
     }
-    reader.declared_snaplen_ = snaplen.value();
-    reader.effective_snaplen_ =
-        (snaplen.value() == 0 || snaplen.value() > kPcapMaxSnapLen) ? kPcapMaxSnapLen
-                                                                    : snaplen.value();
+    declared_snaplen_ = snaplen.value();
+    effective_snaplen_ = (snaplen.value() == 0 || snaplen.value() > kPcapMaxSnapLen)
+                             ? kPcapMaxSnapLen
+                             : snaplen.value();
+    return Status::success();
+}
+
+Result<PcapReader> PcapReader::open(const std::string& path, PcapBackend backend) {
+    PcapReader reader;
+#if defined(TVACR_PCAP_HAVE_MMAP)
+    if (backend == PcapBackend::kAuto) {
+        // Map the whole file read-only when possible. Any failure (missing
+        // file, pipe/FIFO, empty file, exotic filesystem) silently falls
+        // back to the buffered path, which reports the usual errors.
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            struct stat st{};
+            if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+                void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                                   MAP_PRIVATE, fd, 0);
+                if (map != MAP_FAILED) {
+                    ::madvise(map, static_cast<std::size_t>(st.st_size), MADV_SEQUENTIAL);
+                    reader.mapped_ = std::make_unique<MappedFile>(
+                        static_cast<const std::uint8_t*>(map),
+                        static_cast<std::size_t>(st.st_size));
+                }
+            }
+            ::close(fd);
+        }
+    }
+#else
+    (void)backend;
+#endif
+    if (reader.mapped_ != nullptr) {
+        if (reader.mapped_->size < kPcapGlobalHeaderLen) {
+            return make_error("pcap: truncated file header");
+        }
+        if (auto parsed = reader.parse_global_header(
+                BytesView(reader.mapped_->data, kPcapGlobalHeaderLen));
+            !parsed) {
+            return parsed.error();
+        }
+        reader.map_pos_ = kPcapGlobalHeaderLen;
+        return reader;
+    }
+
+    reader.file_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+    if (!*reader.file_) return make_error("pcap: cannot open for reading: " + path);
+    if (reader.buffered(kPcapGlobalHeaderLen) < kPcapGlobalHeaderLen) {
+        return make_error("pcap: truncated file header");
+    }
+    if (auto parsed =
+            reader.parse_global_header(BytesView(reader.buffer_.data(), kPcapGlobalHeaderLen));
+        !parsed) {
+        return parsed.error();
+    }
     reader.begin_ += kPcapGlobalHeaderLen;
     return reader;
 }
 
+Result<std::optional<PcapRecord>> PcapReader::next_mapped() {
+    if (done_) return std::optional<PcapRecord>(std::nullopt);
+    const std::uint8_t* base = mapped_->data;
+    std::size_t remaining = mapped_->size - map_pos_;
+    // Truncated trailing records end the capture cleanly, exactly like the
+    // buffered path and from_pcap_bytes.
+    if (remaining < kPcapRecordHeaderLen) {
+        done_ = true;
+        return std::optional<PcapRecord>(std::nullopt);
+    }
+    const std::uint8_t* h = base + map_pos_;
+    const std::uint32_t ts_sec = swapped_ ? bytes::load_u32be(h) : bytes::load_u32le(h);
+    const std::uint32_t ts_usec = swapped_ ? bytes::load_u32be(h + 4) : bytes::load_u32le(h + 4);
+    const std::uint32_t incl_len = swapped_ ? bytes::load_u32be(h + 8) : bytes::load_u32le(h + 8);
+    const std::uint32_t orig_len = swapped_ ? bytes::load_u32be(h + 12) : bytes::load_u32le(h + 12);
+    if (incl_len > effective_snaplen_) return make_error("pcap: record exceeds snaplen");
+    const std::size_t need = kPcapRecordHeaderLen + incl_len;
+    if (remaining < need) {
+        done_ = true;
+        return std::optional<PcapRecord>(std::nullopt);
+    }
+    PcapRecord record;
+    record.timestamp =
+        SimTime::micros(static_cast<std::int64_t>(ts_sec) * 1'000'000 + ts_usec);
+    record.orig_len = orig_len;
+    record.frame = BytesView(h + kPcapRecordHeaderLen, incl_len);
+    map_pos_ += need;
+    ++packets_read_;
+    return std::optional<PcapRecord>(record);
+}
+
 Result<std::optional<PcapRecord>> PcapReader::next() {
+    if (mapped_ != nullptr) return next_mapped();
     if (done_) return std::optional<PcapRecord>(std::nullopt);
     // Truncated trailing records (incomplete header or body) end the capture
     // cleanly, matching from_pcap_bytes.

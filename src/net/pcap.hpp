@@ -60,19 +60,32 @@ struct PcapRecord {
     BytesView frame;
 };
 
+/// Record source selection for PcapReader::open. kAuto memory-maps the file
+/// when the platform supports it (records become zero-copy views into the
+/// mapping, no buffer refills or compaction slides); kBuffered forces the
+/// portable chunked-ifstream path. Both yield bit-identical record streams
+/// — the equivalence test in test_net.cpp drives them side by side.
+enum class PcapBackend {
+    kAuto,
+    kBuffered,
+};
+
 /// Buffered streaming pcap reader: yields one record at a time from disk
 /// without materializing the whole capture. Memory stays O(buffer) — a
 /// refill chunk plus the largest record seen — which is what lets the
 /// analysis pipeline handle captures far larger than RAM. Honors the file
 /// header's declared snaplen (clamped to kPcapMaxSnapLen) and tolerates a
-/// truncated trailing record exactly like from_pcap_bytes.
+/// truncated trailing record exactly like from_pcap_bytes. On POSIX the
+/// file is memory-mapped instead (same O(resident) behaviour, the page
+/// cache backs the mapping) unless kBuffered is requested.
 class PcapReader {
   public:
     /// Refill granularity; records larger than this grow the buffer to fit.
     static constexpr std::size_t kChunkSize = 256 * 1024;
 
     /// Opens a pcap file and parses the global header.
-    [[nodiscard]] static Result<PcapReader> open(const std::string& path);
+    [[nodiscard]] static Result<PcapReader> open(const std::string& path,
+                                                 PcapBackend backend = PcapBackend::kAuto);
 
     /// Next record, or nullopt at end of capture (clean EOF or tolerated
     /// mid-record truncation). Errors are structural: bad record lengths.
@@ -81,6 +94,9 @@ class PcapReader {
     [[nodiscard]] std::uint64_t packets_read() const noexcept { return packets_read_; }
     /// The file header's declared snaplen, before clamping.
     [[nodiscard]] std::uint32_t declared_snaplen() const noexcept { return declared_snaplen_; }
+    /// True when records are served from a memory mapping (diagnostics; the
+    /// record stream is identical either way).
+    [[nodiscard]] bool memory_mapped() const noexcept { return mapped_ != nullptr; }
 
     ~PcapReader();
     PcapReader(PcapReader&&) noexcept;
@@ -93,7 +109,19 @@ class PcapReader {
     /// are actually available (short at EOF).
     std::size_t buffered(std::size_t need);
 
+    /// Parses and validates the 24-byte global header; sets the byte order
+    /// and snaplen fields. Shared by both backends.
+    Status parse_global_header(BytesView header);
+
+    /// next() over the memory mapping; same truncation/error semantics as
+    /// the buffered path.
+    Result<std::optional<PcapRecord>> next_mapped();
+
+    struct MappedFile;  // owns the mmap; unmaps on destruction
+
     std::unique_ptr<std::ifstream> file_;
+    std::unique_ptr<MappedFile> mapped_;
+    std::size_t map_pos_ = 0;  // first unread byte of the mapping
     Bytes buffer_;
     std::size_t begin_ = 0;  // first unread byte in buffer_
     std::size_t end_ = 0;    // one past the last valid byte in buffer_

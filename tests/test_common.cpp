@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/arena.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -159,6 +160,88 @@ TEST(Rng, DeriveSeedIsStableAndLabelSensitive) {
     EXPECT_NE(derive_seed(1, 2), derive_seed(2, 2));
 }
 
+// ----------------------------------------------------------------- loads
+
+TEST(ByteLoads, BigEndianHelpersMatchWireOrder) {
+    const std::uint8_t buf[] = {0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, 0x11};
+    EXPECT_EQ(bytes::load_u16be(buf), 0x0123U);
+    EXPECT_EQ(bytes::load_u32be(buf), 0x01234567U);
+    EXPECT_EQ(bytes::load_u64be(buf), 0x0123456789ABCDEFULL);
+    // Odd offset: the helpers must be alignment-agnostic.
+    EXPECT_EQ(bytes::load_u16be(buf + 1), 0x2345U);
+    EXPECT_EQ(bytes::load_u32be(buf + 1), 0x23456789U);
+    EXPECT_EQ(bytes::load_u64be(buf + 1), 0x23456789ABCDEF11ULL);
+}
+
+TEST(ByteLoads, LittleEndianHelpersMatchPcapOrder) {
+    const std::uint8_t buf[] = {0xD4, 0xC3, 0xB2, 0xA1, 0x5A};
+    EXPECT_EQ(bytes::load_u16le(buf), 0xC3D4U);
+    EXPECT_EQ(bytes::load_u32le(buf), 0xA1B2C3D4U);
+    EXPECT_EQ(bytes::load_u16le(buf + 1), 0xB2C3U);
+    EXPECT_EQ(bytes::load_u32le(buf + 1), 0x5AA1B2C3U);
+}
+
+// ----------------------------------------------------------------- Arena
+
+TEST(Arena, BumpAllocatesWithinOneChunk) {
+    common::Arena arena;
+    const auto a = arena.make_array<std::uint64_t>(8);
+    const auto b = arena.make_array<std::uint64_t>(8);
+    ASSERT_EQ(a.size(), 8U);
+    ASSERT_EQ(b.size(), 8U);
+    // Distinct, non-overlapping storage.
+    a[7] = 1;
+    b[0] = 2;
+    EXPECT_EQ(a[7], 1U);
+    EXPECT_EQ(b[0], 2U);
+    EXPECT_EQ(arena.bytes_allocated(), 2 * 8 * sizeof(std::uint64_t));
+    EXPECT_EQ(arena.bytes_reserved(), common::Arena::kDefaultChunkBytes);
+}
+
+TEST(Arena, RespectsAlignment) {
+    common::Arena arena;
+    (void)arena.allocate(1, 1);  // misalign the bump pointer
+    void* p = arena.allocate(8, 8);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0U);
+    void* q = arena.allocate(3, 64);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % 64, 0U);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+    common::Arena arena(256);
+    const auto big = arena.make_zeroed_array<std::uint8_t>(10'000);
+    ASSERT_EQ(big.size(), 10'000U);
+    EXPECT_EQ(big[9'999], 0U);
+    EXPECT_GE(arena.bytes_reserved(), 10'000U);
+    // Small allocations still succeed afterwards.
+    const auto small = arena.make_array<std::uint32_t>(4);
+    EXPECT_EQ(small.size(), 4U);
+}
+
+TEST(Arena, ResetRetainsCapacityAndReusesChunks) {
+    common::Arena arena(256);
+    for (int i = 0; i < 50; ++i) (void)arena.make_array<std::uint64_t>(16);
+    const std::size_t reserved = arena.bytes_reserved();
+    EXPECT_GT(arena.bytes_allocated(), 0U);
+    arena.reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0U);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    // A second identical population must not grow the reservation.
+    for (int i = 0; i < 50; ++i) (void)arena.make_array<std::uint64_t>(16);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, MakeConstructsInPlace) {
+    struct Route {
+        std::uint32_t address;
+        std::uint16_t hits;
+    };
+    common::Arena arena;
+    const Route* r = arena.make<Route>(Route{0xC0A80001U, 7});
+    EXPECT_EQ(r->address, 0xC0A80001U);
+    EXPECT_EQ(r->hits, 7U);
+}
+
 // ------------------------------------------------------------------- stats
 
 TEST(Stats, MeanVarianceStddev) {
@@ -194,6 +277,22 @@ TEST(Stats, PercentileSpanOverloadMatchesVectorOverload) {
         EXPECT_DOUBLE_EQ(percentile(std::span<double>(scratch), q), percentile(xs, q))
             << "q=" << q;
     }
+}
+
+TEST(Stats, PercentileLeavesCallerBufferIntact) {
+    // Regression: the span overload used to run nth_element directly on the
+    // caller's storage, so a p50 query reordered the samples and skewed any
+    // p95 taken from the same buffer afterwards (bench_analyze does exactly
+    // that). Both quantiles must come out right from one untouched buffer.
+    const std::vector<double> expected_order = {40, 10, 90, 20, 80, 30, 70, 50, 60, 100};
+    std::vector<double> samples = expected_order;
+    const std::span<const double> span(samples);
+    EXPECT_DOUBLE_EQ(percentile(span, 0.5), 55.0);
+    EXPECT_DOUBLE_EQ(percentile(span, 0.95), 95.5);
+    EXPECT_EQ(samples, expected_order);
+    // Same answers as sorting the whole thing (vector overload).
+    EXPECT_DOUBLE_EQ(percentile(expected_order, 0.5), 55.0);
+    EXPECT_DOUBLE_EQ(percentile(expected_order, 0.95), 95.5);
 }
 
 TEST(Stats, PercentileSpanSingleElementAndClamping) {

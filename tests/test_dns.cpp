@@ -168,6 +168,121 @@ TEST(NameCodecTest, PointerChainsHonourHopLimit) {
     }
 }
 
+// --------------------------------------------------------------- name cache
+
+/// Decodes the name at `offset` twice — once without a cache, once with
+/// `cache` — and requires identical outcomes: same ok/error, same error
+/// message, same name, and the reader parked at the same position.
+void expect_cache_transparent(BytesView wire, std::size_t offset, NameCache& cache) {
+    ByteReader plain(wire);
+    ByteReader cached(wire);
+    ASSERT_TRUE(plain.seek(offset).ok());
+    ASSERT_TRUE(cached.seek(offset).ok());
+    const auto a = decode_name(plain);
+    const auto b = decode_name(cached, &cache);
+    ASSERT_EQ(a.ok(), b.ok()) << "offset " << offset;
+    if (!a.ok()) {
+        EXPECT_EQ(a.error().message, b.error().message);
+        return;
+    }
+    EXPECT_EQ(a.value(), b.value());
+    EXPECT_EQ(plain.position(), cached.position());
+}
+
+TEST(NameCacheTest, ColdAndWarmDecodesMatchUncachedAtEveryOffset) {
+    // A message-like arena: a base name, a prefixed pointer, a bare pointer
+    // chain, and a two-label prefix — the shapes DnsMessage::decode meets.
+    ByteWriter w;
+    w.u8(7);
+    w.raw(std::string_view("example"));
+    w.u8(3);
+    w.raw(std::string_view("com"));
+    w.u8(0);  // offset 0: "example.com", 13 bytes
+    w.u8(3);
+    w.raw(std::string_view("www"));
+    w.u16(0xC000);  // offset 13: "www" -> ptr(0), 6 bytes
+    w.u16(0xC000 | 13);  // offset 19: bare pointer to offset 13
+    w.u8(1);
+    w.raw(std::string_view("a"));
+    w.u8(1);
+    w.raw(std::string_view("b"));
+    w.u16(0xC000 | 13);  // offset 21: "a.b" -> ptr(13)
+
+    NameCache cache;
+    // Two passes: the first fills the cache (cold), the second must return
+    // memoized results that are still indistinguishable from fresh decodes.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const std::size_t offset : {0U, 13U, 19U, 21U}) {
+            expect_cache_transparent(w.view(), offset, cache);
+        }
+    }
+}
+
+TEST(NameCacheTest, SpliceReplaysHopLimit) {
+    // "a." at 0, then a 17-deep pointer chain. A cold decode at hop depth 16
+    // succeeds and memoizes; the depth-17 decode must fail with the same
+    // error whether it walks the chain or splices a memoized tail.
+    ByteWriter w;
+    w.u8(1);
+    w.raw(std::string_view("a"));
+    w.u8(0);
+    for (int i = 0; i < 17; ++i) {
+        const std::size_t target = i == 0 ? 0 : 3 + 2 * static_cast<std::size_t>(i - 1);
+        w.u16(static_cast<std::uint16_t>(0xC000 | target));
+    }
+    NameCache cache;
+    expect_cache_transparent(w.view(), 3 + 2 * 15, cache);  // 16 hops: fine, warms cache
+    expect_cache_transparent(w.view(), 3 + 2 * 16, cache);  // 17 hops: same error spliced
+}
+
+TEST(NameCacheTest, SpliceReplaysOctetLimit) {
+    // Base name of two 63-octet labels (129 octets with length bytes); a
+    // prefix of two more such labels plus a pointer pushes the assembled
+    // name past 255 octets. The octet check must fire identically when the
+    // tail is spliced from the cache instead of re-walked.
+    const std::string big(63, 'x');
+    ByteWriter w;
+    w.u8(63);
+    w.raw(std::string_view(big));
+    w.u8(63);
+    w.raw(std::string_view(big));
+    w.u8(0);  // offset 0: 129 bytes
+    const std::size_t prefix_at = 129;
+    w.u8(63);
+    w.raw(std::string_view(big));
+    w.u8(63);
+    w.raw(std::string_view(big));
+    w.u16(0xC000);  // offset 129: two labels + ptr(0): 257 octets total
+
+    NameCache cache;
+    expect_cache_transparent(w.view(), 0, cache);  // warms the tail
+    expect_cache_transparent(w.view(), prefix_at, cache);
+    // Sanity: the overflow really is the outcome, not just equivalence.
+    ByteReader r(w.view());
+    ASSERT_TRUE(r.seek(prefix_at).ok());
+    NameCache warm;
+    ByteReader warmer(w.view());
+    (void)decode_name(warmer, &warm);
+    const auto spliced = decode_name(r, &warm);
+    ASSERT_FALSE(spliced.ok());
+    EXPECT_EQ(spliced.error().message, "decode_name: name exceeds 255 octets");
+}
+
+TEST(NameCacheTest, InvalidPointersFailIdenticallyWhenWarm) {
+    // Forward pointers and self-loops must be rejected before any cache
+    // lookup, so a warm cache cannot resurrect an invalid wire name.
+    ByteWriter w;
+    w.u8(1);
+    w.raw(std::string_view("a"));
+    w.u8(0);             // offset 0: "a.", decodes fine
+    w.u16(0xC000 | 3);   // offset 3: points at itself
+    w.u16(0xC000 | 9);   // offset 5: forward pointer
+    NameCache cache;
+    expect_cache_transparent(w.view(), 0, cache);
+    expect_cache_transparent(w.view(), 3, cache);
+    expect_cache_transparent(w.view(), 5, cache);
+}
+
 // ----------------------------------------------------------------- messages
 
 TEST(DnsMessageTest, QueryRoundTrip) {
